@@ -1,0 +1,67 @@
+// Command genbench emits a benchmark circuit as JSON, for inspection or
+// for feeding back into `rabid -circuit`.
+//
+// Usage:
+//
+//	genbench -bench apte > apte.json
+//	genbench -bench playout -sites 6250 -o playout_med.json
+//	genbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	rabid "repro"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "suite benchmark name")
+		out   = flag.String("o", "", "output file (default stdout)")
+		grid  = flag.String("grid", "", "override tiling as WxH")
+		sites = flag.Int("sites", 0, "override the buffer-site budget")
+		seed  = flag.Int64("seed", 0, "override the generation seed")
+		list  = flag.Bool("list", false, "list the available benchmarks and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, s := range rabid.Suite() {
+			fmt.Printf("%-8s cells=%-3d nets=%-4d pads=%-3d sinks=%-4d grid=%dx%d L=%d sites=%d\n",
+				s.Name, s.Cells, s.Nets, s.Pads, s.Sinks, s.GridW, s.GridH, s.L, s.Sites)
+		}
+		return
+	}
+	if err := run(*bench, *out, *grid, *sites, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, out, grid string, sites int, seed int64) error {
+	if bench == "" {
+		return fmt.Errorf("-bench is required (or -list)")
+	}
+	opt := rabid.GenOptions{Sites: sites, Seed: seed}
+	if grid != "" {
+		if _, err := fmt.Sscanf(grid, "%dx%d", &opt.GridW, &opt.GridH); err != nil {
+			return fmt.Errorf("bad -grid %q (want WxH): %v", grid, err)
+		}
+	}
+	c, err := rabid.GenerateBenchmark(bench, opt)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return c.WriteJSON(w)
+}

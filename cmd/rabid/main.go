@@ -1,0 +1,148 @@
+// Command rabid runs the four-stage RABID heuristic on a benchmark circuit
+// (or a circuit JSON file) and prints stage-by-stage statistics in the
+// layout of the paper's Table II.
+//
+// Usage:
+//
+//	rabid -bench apte                      # run a Table I benchmark
+//	rabid -bench apte -grid 10x11          # coarser tiling (Table IV style)
+//	rabid -bench xerox -sites 600          # smaller site budget (Table III)
+//	rabid -circuit my.json                 # run a circuit from JSON
+//	rabid -bench apte -twopin              # two-pin decomposition (Table V)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rabid "repro"
+	"repro/internal/textable"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "suite benchmark name (apte, xerox, hp, ami33, ami49, playout, ac3, xc5, hc7, a9c3)")
+		circuit = flag.String("circuit", "", "path to a circuit JSON file (alternative to -bench)")
+		grid    = flag.String("grid", "", "override tiling as WxH (e.g. 20x22); must keep the chip aspect ratio")
+		sites   = flag.Int("sites", 0, "override the total buffer-site budget")
+		seed    = flag.Int64("seed", 0, "override the generation seed")
+		twopin  = flag.Bool("twopin", false, "decompose multi-sink nets into two-pin nets before planning")
+		alpha   = flag.Float64("alpha", 0.4, "Prim-Dijkstra radius/wirelength tradeoff")
+		passes  = flag.Int("passes", 3, "maximum Stage-2 rip-up-and-reroute passes")
+		svgOut  = flag.String("svg", "", "write an SVG of the final plan (blocks, congestion, routes, buffers)")
+		heat    = flag.Bool("heat", false, "print ASCII wire-congestion and buffer-density maps")
+		anneal  = flag.Bool("annealed", false, "place benchmark blocks with the simulated annealer instead of guillotine packing")
+		jsonOut = flag.String("json", "", "write a machine-readable run report (JSON) to this file")
+		retime  = flag.Int("retime", 0, "after planning, re-buffer the N most critical nets with the timing-driven pass")
+	)
+	flag.Parse()
+	if err := run(*bench, *circuit, *grid, *sites, *seed, *anneal, *twopin, *alpha, *passes, *svgOut, *heat, *jsonOut, *retime); err != nil {
+		fmt.Fprintln(os.Stderr, "rabid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, circuitPath, grid string, sites int, seed int64, annealed, twopin bool, alpha float64, passes int, svgOut string, heat bool, jsonOut string, retime int) error {
+	c, params, err := load(bench, circuitPath, grid, sites, seed, annealed)
+	if err != nil {
+		return err
+	}
+	params.Alpha = alpha
+	params.RouteOpt.Alpha = alpha
+	params.MaxRipupPasses = passes
+	if twopin {
+		c = c.DecomposeTwoPin()
+	}
+	fmt.Printf("circuit %s: %d nets, %d sinks, %dx%d tiles of %.0f um, %d buffer sites\n",
+		c.Name, len(c.Nets), c.TotalSinks(), c.GridW, c.GridH, c.TileUm, c.TotalBufferSites())
+	res, err := rabid.Run(c, params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated edge capacity W(e) = %d\n\n", res.Capacity)
+	t := textable.New("stage", "wc max", "wc avg", "overflow", "bd max", "bd avg",
+		"#bufs", "#fails", "wl(mm)", "dmax(ps)", "davg(ps)", "cpu(s)")
+	for _, s := range res.Stages {
+		t.AddF(fmt.Sprintf("%d", s.Stage), s.WireMax, s.WireAvg, s.Overflows,
+			s.BufMax, s.BufAvg, s.Buffers, s.Fails,
+			int(s.WirelenMm+0.5), int(s.MaxDelayPs+0.5), int(s.AvgDelayPs+0.5),
+			fmt.Sprintf("%.1f", s.CPU.Seconds()))
+	}
+	fmt.Print(t.String())
+	if heat {
+		fmt.Println("\nwire congestion (max incident w/W per tile):")
+		fmt.Print(viz.ASCII(viz.WireHeat(res.Graph), c.GridW, c.GridH))
+		fmt.Println("\nbuffer density (b/B per tile):")
+		fmt.Print(viz.ASCII(viz.BufferHeat(res.Graph), c.GridW, c.GridH))
+	}
+	if retime > 0 {
+		reports, err := rabid.RetimeCriticalNets(res, retime, rabid.DefaultLibrary018())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ntiming-driven re-buffering of the %d most critical nets:\n", len(reports))
+		rt := textable.New("net", "before(ps)", "after(ps)", "old bufs", "new bufs")
+		for _, r := range reports {
+			rt.AddF(fmt.Sprintf("%d", r.NetIndex), int(r.BeforeMaxPs+0.5), int(r.AfterMaxPs+0.5),
+				r.OldBuffers, len(r.NewBuffers))
+		}
+		fmt.Print(rt.String())
+	}
+	if jsonOut != "" {
+		rep, err := res.Report()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+	if svgOut != "" {
+		svg := viz.SVG(c, viz.SVGOptions{Graph: res.Graph, Routes: res.Routes})
+		if err := os.WriteFile(svgOut, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", svgOut)
+	}
+	return nil
+}
+
+func load(bench, circuitPath, grid string, sites int, seed int64, annealed bool) (*rabid.Circuit, rabid.Params, error) {
+	switch {
+	case bench != "" && circuitPath != "":
+		return nil, rabid.Params{}, fmt.Errorf("use either -bench or -circuit, not both")
+	case circuitPath != "":
+		f, err := os.Open(circuitPath)
+		if err != nil {
+			return nil, rabid.Params{}, err
+		}
+		defer f.Close()
+		c, err := rabid.ReadCircuit(f)
+		if err != nil {
+			return nil, rabid.Params{}, err
+		}
+		return c, rabid.DefaultParams(), nil
+	case bench != "":
+		opt := rabid.GenOptions{Sites: sites, Seed: seed, Annealed: annealed}
+		if grid != "" {
+			if _, err := fmt.Sscanf(grid, "%dx%d", &opt.GridW, &opt.GridH); err != nil {
+				return nil, rabid.Params{}, fmt.Errorf("bad -grid %q (want WxH): %v", grid, err)
+			}
+		}
+		c, err := rabid.GenerateBenchmark(bench, opt)
+		if err != nil {
+			return nil, rabid.Params{}, err
+		}
+		return c, rabid.BenchmarkParams(bench), nil
+	default:
+		return nil, rabid.Params{}, fmt.Errorf("one of -bench or -circuit is required")
+	}
+}

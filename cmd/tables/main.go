@@ -1,0 +1,42 @@
+// Command tables regenerates the paper's experimental tables.
+//
+// Usage:
+//
+//	tables            # all of Tables I-V (several minutes)
+//	tables -table 2   # one table
+//
+// Progress is logged to stderr; tables print to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rabid "repro"
+)
+
+var titles = map[int]string{
+	1: "Table I: test circuit statistics and parameters",
+	2: "Table II: stage-by-stage results (CBL circuits per stage; random circuits final)",
+	3: "Table III: varying the number of available buffer sites",
+	4: "Table IV: varying grid sizes for three CBL benchmarks",
+	5: "Table V: comparison of RABID to BBP/FR",
+}
+
+func main() {
+	var table = flag.Int("table", 0, "table number 1-5 (0 = all)")
+	flag.Parse()
+	which := []int{1, 2, 3, 4, 5}
+	if *table != 0 {
+		which = []int{*table}
+	}
+	for _, n := range which {
+		t, err := rabid.Table(n, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: table %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n\n%s\n", titles[n], t.String())
+	}
+}

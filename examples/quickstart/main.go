@@ -1,0 +1,74 @@
+// Quickstart: build a tiny circuit by hand, run the four-stage RABID
+// heuristic, and inspect where the buffers landed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rabid "repro"
+	"repro/internal/geom"
+)
+
+func main() {
+	// A 12x12 tile chip (600 um tiles, ~7.2 mm on a side) with two buffer
+	// sites per tile, except a blocked 4x4 "cache" in the middle.
+	const grid, tileUm = 12, 600.0
+	c := &rabid.Circuit{
+		Name:        "quickstart",
+		GridW:       grid,
+		GridH:       grid,
+		TileUm:      tileUm,
+		BufferSites: make([]int, grid*grid),
+	}
+	for i := range c.BufferSites {
+		c.BufferSites[i] = 2
+	}
+	for y := 4; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			c.BufferSites[y*grid+x] = 0
+		}
+	}
+
+	pin := func(x, y int) rabid.Pin {
+		pos := geom.FPt{X: (float64(x) + 0.5) * tileUm, Y: (float64(y) + 0.5) * tileUm}
+		return rabid.Pin{Tile: geom.Pt{X: x, Y: y}, Pos: pos}
+	}
+	// Three global nets with a tile length constraint of 4: no driver or
+	// buffer may drive more than 4 tiles (2.4 mm) of wire.
+	c.Nets = []*rabid.Net{
+		{ID: 0, Name: "cross", L: 4, Source: pin(0, 0),
+			Sinks: []rabid.Pin{pin(11, 11)}},
+		{ID: 1, Name: "fanout", L: 4, Source: pin(0, 11),
+			Sinks: []rabid.Pin{pin(11, 0), pin(11, 6), pin(6, 0)}},
+		{ID: 2, Name: "short", L: 4, Source: pin(2, 2),
+			Sinks: []rabid.Pin{pin(3, 4)}},
+	}
+
+	res, err := rabid.Run(c, rabid.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("stage  overflow  buffers  fails  max-delay(ps)")
+	for _, s := range res.Stages {
+		fmt.Printf("%5d  %8d  %7d  %5d  %13.0f\n",
+			s.Stage, s.Overflows, s.Buffers, s.Fails, s.MaxDelayPs)
+	}
+
+	fmt.Println("\nper-net buffer placement:")
+	for i, n := range c.Nets {
+		a := res.Assignments[i]
+		rt := res.Routes[i]
+		fmt.Printf("  %-7s route %2d tiles, %d buffers at:", n.Name, rt.NumNodes(), len(a.Buffers))
+		for _, b := range a.Buffers {
+			fmt.Printf(" %v", rt.Tile[b.Node])
+		}
+		if !a.Feasible() {
+			fmt.Printf("  (length constraint violated by %d tiles)", a.Violations)
+		}
+		fmt.Println()
+	}
+}

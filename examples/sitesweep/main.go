@@ -1,0 +1,44 @@
+// Sitesweep: Section IV-B's buffer-site budget study. Sweeping the number
+// of available buffer sites shows the paper's guidance that good solutions
+// need roughly no more than one in every five sites occupied — scarce
+// budgets drive up length-rule failures and delay.
+//
+//	go run ./examples/sitesweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rabid "repro"
+)
+
+func main() {
+	budgets := []int{280, 700, 1600, 3200, 6400}
+	fmt.Println("apte with varying buffer-site budgets (paper Table III, extended)")
+	fmt.Println()
+	fmt.Printf("%6s  %9s  %9s  %7s  %6s  %10s  %10s\n",
+		"sites", "occupancy", "bc max", "#bufs", "fails", "dmax(ps)", "davg(ps)")
+	for _, sites := range budgets {
+		c, err := rabid.GenerateBenchmark("apte", rabid.GenOptions{Sites: sites})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rabid.Run(c, rabid.BenchmarkParams("apte"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := res.Stages[len(res.Stages)-1]
+		occ := float64(f.Buffers) / float64(sites)
+		marker := ""
+		if occ <= 0.2 {
+			marker = "  <= 1-in-5 occupied"
+		}
+		fmt.Printf("%6d  %8.0f%%  %9.2f  %7d  %6d  %10.0f  %10.0f%s\n",
+			sites, occ*100, f.BufMax, f.Buffers, f.Fails, f.MaxDelayPs, f.AvgDelayPs, marker)
+	}
+	fmt.Println()
+	fmt.Println("As the budget shrinks, more nets fail their length constraint and")
+	fmt.Println("delays rise; once occupancy drops to ~20% or below, quality saturates")
+	fmt.Println("(the paper's 'no more than one in five sites occupied' rule).")
+}

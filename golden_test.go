@@ -1,0 +1,90 @@
+package rabid
+
+import "testing"
+
+// TestPipelineDeterminism locks the property that the whole pipeline —
+// generation, routing, buffering, post-processing — is a pure function of
+// (benchmark, options): two runs must agree exactly, stat for stat and
+// buffer for buffer. This is what makes the experiment tables and the
+// EXPERIMENTS.md numbers reproducible.
+func TestPipelineDeterminism(t *testing.T) {
+	run := func() *Result {
+		c, err := GenerateBenchmark("apte", GenOptions{GridW: 10, GridH: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(c, BenchmarkParams("apte"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Capacity != b.Capacity {
+		t.Fatalf("capacity %d vs %d", a.Capacity, b.Capacity)
+	}
+	for i := range a.Stages {
+		sa, sb := a.Stages[i], b.Stages[i]
+		if sa.Buffers != sb.Buffers || sa.Fails != sb.Fails ||
+			sa.Overflows != sb.Overflows || sa.WirelenMm != sb.WirelenMm ||
+			sa.MaxDelayPs != sb.MaxDelayPs {
+			t.Fatalf("stage %d differs: %+v vs %+v", i+1, sa, sb)
+		}
+	}
+	for i := range a.Routes {
+		if a.Routes[i].NumNodes() != b.Routes[i].NumNodes() {
+			t.Fatalf("net %d route differs", i)
+		}
+		ab, bb := a.Assignments[i].Buffers, b.Assignments[i].Buffers
+		if len(ab) != len(bb) {
+			t.Fatalf("net %d buffer count differs", i)
+		}
+		for k := range ab {
+			if ab[k] != bb[k] {
+				t.Fatalf("net %d buffer %d differs: %+v vs %+v", i, k, ab[k], bb[k])
+			}
+		}
+	}
+}
+
+// TestRouteMCFFacade drives the MCF router through the public API.
+func TestRouteMCFFacade(t *testing.T) {
+	c, err := GenerateBenchmark("apte", GenOptions{GridW: 10, GridH: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RouteMCF(c, 16, MCFOptions{Seed: 1, Phases: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != len(c.Nets) {
+		t.Fatalf("routed %d of %d nets", len(res.Routes), len(c.Nets))
+	}
+	if res.FractionalMaxCongestion <= 0 || res.RoundedMaxCongestion <= 0 {
+		t.Error("congestion certificates missing")
+	}
+}
+
+// TestMCFPipelineParity runs the full pipeline with both Stage-2 routers;
+// both must satisfy the problem formulation's constraints.
+func TestMCFPipelineParity(t *testing.T) {
+	c, err := GenerateBenchmark("hp", GenOptions{GridW: 10, GridH: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, useMCF := range []bool{false, true} {
+		p := BenchmarkParams("hp")
+		p.UseMCFRouter = useMCF
+		res, err := Run(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := res.Stages[len(res.Stages)-1]
+		if final.Overflows != 0 {
+			t.Errorf("useMCF=%v: %d overflows", useMCF, final.Overflows)
+		}
+		if final.BufMax > 1 {
+			t.Errorf("useMCF=%v: buffer constraint violated", useMCF)
+		}
+	}
+}

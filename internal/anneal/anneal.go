@@ -1,0 +1,427 @@
+// Package anneal implements a classic slicing-floorplan simulated
+// annealer (Wong–Liu style normalized Polish expressions). The paper's
+// experimental floorplans were produced by "Monte Carlo simulated
+// annealing" inside the BBP code; this package provides the equivalent
+// substrate so benchmark floorplans can be annealed instead of
+// guillotine-packed, and so the interconnect-centric loop — anneal a
+// floorplan, run RABID, evaluate, repeat — can be exercised end to end.
+//
+// Representation: a normalized Polish expression over block operands and
+// the slicing operators V (left|right) and H (bottom|top). Each block
+// offers a small discrete set of shapes (aspect ratios); combining child
+// shape lists keeps the Pareto-minimal (w, h) pairs, so the root list
+// yields the best attainable bounding boxes. Annealing applies the three
+// classic moves (operand swap, operator-chain complement, operand/operator
+// swap) under an exponential cooling schedule; all randomness is seeded.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Block is one macro to place.
+type Block struct {
+	// Area in square micrometers.
+	Area float64
+	// Aspects lists the allowed height/width ratios. Empty defaults to
+	// {0.5, 1, 2}.
+	Aspects []float64
+}
+
+// Net lists the blocks a net connects (indices into the block slice);
+// used for the wirelength term of the cost.
+type Net []int
+
+// Options tunes the annealer.
+type Options struct {
+	Seed int64
+	// Moves is the total number of proposed moves (default 20000).
+	Moves int
+	// InitialTemp and Cooling control the schedule (defaults 1.0, 0.995
+	// applied every 50 moves). Temperature is relative to the initial
+	// cost, so the defaults are scale-free.
+	InitialTemp float64
+	Cooling     float64
+	// WirelengthWeight trades HPWL against area in the cost (default 0.5).
+	WirelengthWeight float64
+}
+
+// Result is a placed floorplan.
+type Result struct {
+	Rects []geom.Rect
+	W, H  float64
+	// Cost is the final annealing cost (normalized area + weighted HPWL).
+	Cost float64
+}
+
+// shape is one (w, h) option of a subtree, with backpointers for recovery.
+type shape struct {
+	w, h float64
+	// l, r index the chosen child shapes (operand shapes have l = r = -1).
+	l, r int
+}
+
+const (
+	opV = -1 // vertical cut: children side by side
+	opH = -2 // horizontal cut: children stacked
+)
+
+// Floorplan places the blocks. nets may be nil (pure area packing).
+func Floorplan(blocks []Block, nets []Net, opt Options) (*Result, error) {
+	n := len(blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("anneal: no blocks")
+	}
+	for i, b := range blocks {
+		if b.Area <= 0 {
+			return nil, fmt.Errorf("anneal: block %d area %g must be positive", i, b.Area)
+		}
+	}
+	for _, net := range nets {
+		for _, b := range net {
+			if b < 0 || b >= n {
+				return nil, fmt.Errorf("anneal: net references block %d of %d", b, n)
+			}
+		}
+	}
+	if opt.Moves == 0 {
+		opt.Moves = 20000
+	}
+	if opt.InitialTemp == 0 {
+		opt.InitialTemp = 1.0
+	}
+	if opt.Cooling == 0 {
+		opt.Cooling = 0.995
+	}
+	if opt.WirelengthWeight == 0 {
+		opt.WirelengthWeight = 0.5
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	if n == 1 {
+		w := math.Sqrt(blocks[0].Area)
+		return &Result{
+			Rects: []geom.Rect{{Hi: geom.FPt{X: w, Y: w}}},
+			W:     w, H: w,
+		}, nil
+	}
+
+	f := &plan{blocks: blocks, nets: nets, wlWeight: opt.WirelengthWeight}
+	// Initial expression: 0 1 V 2 V 3 V ... (a row), always normalized.
+	f.expr = make([]int, 0, 2*n-1)
+	f.expr = append(f.expr, 0, 1, opV)
+	for b := 2; b < n; b++ {
+		f.expr = append(f.expr, b, opV)
+	}
+	best := append([]int(nil), f.expr...)
+	cur, norm := f.cost(f.expr)
+	f.norm = norm
+	cur /= norm
+	bestCost := cur
+	temp := opt.InitialTemp
+	for m := 0; m < opt.Moves; m++ {
+		cand, ok := f.perturb(rng)
+		if !ok {
+			continue
+		}
+		c, _ := f.cost(cand)
+		c /= norm
+		if c <= cur || rng.Float64() < math.Exp(-(c-cur)/temp) {
+			f.expr = cand
+			cur = c
+			if c < bestCost {
+				bestCost = c
+				best = append(best[:0], cand...)
+			}
+		}
+		if m%50 == 49 {
+			temp *= opt.Cooling
+		}
+	}
+	rects, W, H := f.realize(best)
+	return &Result{Rects: rects, W: W, H: H, Cost: bestCost}, nil
+}
+
+// plan carries the annealing state.
+type plan struct {
+	blocks   []Block
+	nets     []Net
+	expr     []int
+	norm     float64
+	wlWeight float64
+}
+
+// blockShapes returns the discrete shape list of one block.
+func (f *plan) blockShapes(b int) []shape {
+	aspects := f.blocks[b].Aspects
+	if len(aspects) == 0 {
+		aspects = []float64{0.5, 1, 2}
+	}
+	out := make([]shape, 0, len(aspects))
+	for _, a := range aspects {
+		h := math.Sqrt(f.blocks[b].Area * a)
+		w := f.blocks[b].Area / h
+		out = append(out, shape{w: w, h: h, l: -1, r: -1})
+	}
+	return pruneShapes(out)
+}
+
+// pruneShapes keeps the Pareto frontier (no shape both wider and taller).
+func pruneShapes(in []shape) []shape {
+	sort.Slice(in, func(a, b int) bool {
+		if in[a].w != in[b].w {
+			return in[a].w < in[b].w
+		}
+		return in[a].h < in[b].h
+	})
+	var out []shape
+	minH := math.Inf(1)
+	for _, s := range in {
+		if s.h < minH {
+			out = append(out, s)
+			minH = s.h
+		}
+	}
+	return out
+}
+
+// combine merges child shape lists under an operator.
+func combine(op int, ls, rs []shape) []shape {
+	var out []shape
+	for li, l := range ls {
+		for ri, r := range rs {
+			var s shape
+			if op == opV {
+				s = shape{w: l.w + r.w, h: math.Max(l.h, r.h), l: li, r: ri}
+			} else {
+				s = shape{w: math.Max(l.w, r.w), h: l.h + r.h, l: li, r: ri}
+			}
+			out = append(out, s)
+		}
+	}
+	return pruneShapes(out)
+}
+
+// evaluate builds the shape lists of every subtree of the expression and
+// returns the stack of (shapes, subtree description) for realization.
+type subtree struct {
+	shapes []shape
+	// op and children describe the node (op >= 0 means leaf block index,
+	// with l/r unused).
+	op   int
+	l, r int // indices into the node arena
+}
+
+func (f *plan) evaluate(expr []int) ([]subtree, int, error) {
+	var arena []subtree
+	var stack []int
+	for _, tok := range expr {
+		if tok >= 0 {
+			arena = append(arena, subtree{shapes: f.blockShapes(tok), op: tok, l: -1, r: -1})
+			stack = append(stack, len(arena)-1)
+			continue
+		}
+		if len(stack) < 2 {
+			return nil, 0, fmt.Errorf("anneal: malformed expression")
+		}
+		r := stack[len(stack)-1]
+		l := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		arena = append(arena, subtree{
+			shapes: combine(tok, arena[l].shapes, arena[r].shapes),
+			op:     tok, l: l, r: r,
+		})
+		stack = append(stack, len(arena)-1)
+	}
+	if len(stack) != 1 {
+		return nil, 0, fmt.Errorf("anneal: malformed expression")
+	}
+	return arena, stack[0], nil
+}
+
+// cost returns area + weighted HPWL for the best root shape, plus the
+// normalization constant (total block area) on first use.
+func (f *plan) cost(expr []int) (float64, float64) {
+	arena, root, err := f.evaluate(expr)
+	if err != nil {
+		return math.Inf(1), 1
+	}
+	bi, bc := -1, math.Inf(1)
+	for i, s := range arena[root].shapes {
+		if a := s.w * s.h; a < bc {
+			bc, bi = a, i
+		}
+	}
+	area := bc
+	norm := 0.0
+	for _, b := range f.blocks {
+		norm += b.Area
+	}
+	wl := 0.0
+	if len(f.nets) > 0 && f.wlWeight > 0 {
+		centers := make([]geom.FPt, len(f.blocks))
+		f.place(arena, root, bi, 0, 0, centers)
+		for _, net := range f.nets {
+			if len(net) < 2 {
+				continue
+			}
+			minX, maxX := math.Inf(1), math.Inf(-1)
+			minY, maxY := math.Inf(1), math.Inf(-1)
+			for _, b := range net {
+				minX = math.Min(minX, centers[b].X)
+				maxX = math.Max(maxX, centers[b].X)
+				minY = math.Min(minY, centers[b].Y)
+				maxY = math.Max(maxY, centers[b].Y)
+			}
+			wl += (maxX - minX) + (maxY - minY)
+		}
+		// Normalize HPWL by a length scale so area and wirelength are
+		// commensurable: divide by sqrt(total area) * #nets.
+		wl = wl / (math.Sqrt(norm) * float64(len(f.nets)))
+		return area + f.wlWeight*wl*norm, norm
+	}
+	_ = bi
+	return area, norm
+}
+
+// place assigns block centers for a chosen shape (recursively), writing
+// into centers. Used for both cost HPWL and final realization.
+func (f *plan) place(arena []subtree, node, si int, x, y float64, centers []geom.FPt) geom.Rect {
+	st := arena[node]
+	s := st.shapes[si]
+	if st.l == -1 {
+		r := geom.Rect{Lo: geom.FPt{X: x, Y: y}, Hi: geom.FPt{X: x + s.w, Y: y + s.h}}
+		if centers != nil {
+			centers[st.op] = r.Center()
+		}
+		return r
+	}
+	if st.op == opV {
+		f.place(arena, st.l, s.l, x, y, centers)
+		lw := arena[st.l].shapes[s.l].w
+		f.place(arena, st.r, s.r, x+lw, y, centers)
+	} else {
+		f.place(arena, st.l, s.l, x, y, centers)
+		lh := arena[st.l].shapes[s.l].h
+		f.place(arena, st.r, s.r, x, y+lh, centers)
+	}
+	return geom.Rect{Lo: geom.FPt{X: x, Y: y}, Hi: geom.FPt{X: x + s.w, Y: y + s.h}}
+}
+
+// realize converts the best expression into placed rectangles.
+func (f *plan) realize(expr []int) ([]geom.Rect, float64, float64) {
+	arena, root, err := f.evaluate(expr)
+	if err != nil {
+		return nil, 0, 0
+	}
+	bi, bc := 0, math.Inf(1)
+	for i, s := range arena[root].shapes {
+		if a := s.w * s.h; a < bc {
+			bc, bi = a, i
+		}
+	}
+	rects := make([]geom.Rect, len(f.blocks))
+	var fill func(node, si int, x, y float64)
+	fill = func(node, si int, x, y float64) {
+		st := arena[node]
+		s := st.shapes[si]
+		if st.l == -1 {
+			rects[st.op] = geom.Rect{Lo: geom.FPt{X: x, Y: y}, Hi: geom.FPt{X: x + s.w, Y: y + s.h}}
+			return
+		}
+		fill(st.l, s.l, x, y)
+		if st.op == opV {
+			fill(st.r, s.r, x+arena[st.l].shapes[s.l].w, y)
+		} else {
+			fill(st.r, s.r, x, y+arena[st.l].shapes[s.l].h)
+		}
+	}
+	fill(root, bi, 0, 0)
+	rs := arena[root].shapes[bi]
+	return rects, rs.w, rs.h
+}
+
+// perturb proposes one of the three classic moves on a copy of the
+// expression, returning ok=false when the move would break normalization
+// or the balloting property.
+func (f *plan) perturb(rng *rand.Rand) ([]int, bool) {
+	e := append([]int(nil), f.expr...)
+	switch rng.Intn(3) {
+	case 0:
+		// M1: swap two adjacent operands.
+		var ops []int
+		for i, t := range e {
+			if t >= 0 {
+				ops = append(ops, i)
+			}
+		}
+		if len(ops) < 2 {
+			return nil, false
+		}
+		k := rng.Intn(len(ops) - 1)
+		e[ops[k]], e[ops[k+1]] = e[ops[k+1]], e[ops[k]]
+		return e, true
+	case 1:
+		// M2: complement a maximal operator chain.
+		var chains []int
+		for i, t := range e {
+			if t < 0 && (i == 0 || e[i-1] >= 0) {
+				chains = append(chains, i)
+			}
+		}
+		if len(chains) == 0 {
+			return nil, false
+		}
+		i := chains[rng.Intn(len(chains))]
+		for ; i < len(e) && e[i] < 0; i++ {
+			if e[i] == opV {
+				e[i] = opH
+			} else {
+				e[i] = opV
+			}
+		}
+		return e, true
+	default:
+		// M3: swap an adjacent operand/operator pair, keeping the
+		// expression normalized (no two equal adjacent operators) and
+		// ballot-valid (#operators < #operands at every prefix).
+		var cand []int
+		for i := 0; i+1 < len(e); i++ {
+			if (e[i] >= 0) != (e[i+1] >= 0) {
+				cand = append(cand, i)
+			}
+		}
+		rng.Shuffle(len(cand), func(a, b int) { cand[a], cand[b] = cand[b], cand[a] })
+		for _, i := range cand {
+			e[i], e[i+1] = e[i+1], e[i]
+			if validExpr(e) {
+				return e, true
+			}
+			e[i], e[i+1] = e[i+1], e[i]
+		}
+		return nil, false
+	}
+}
+
+// validExpr checks the balloting property and normalization.
+func validExpr(e []int) bool {
+	operands, operators := 0, 0
+	for i, t := range e {
+		if t >= 0 {
+			operands++
+		} else {
+			operators++
+			if operators >= operands {
+				return false
+			}
+			if i > 0 && e[i-1] == t {
+				return false // not normalized: equal adjacent operators
+			}
+		}
+	}
+	return operators == operands-1
+}

@@ -1,0 +1,216 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func blocksN(r *rand.Rand, n int) []Block {
+	out := make([]Block, n)
+	for i := range out {
+		out[i] = Block{Area: 1e4 + r.Float64()*9e4}
+	}
+	return out
+}
+
+func TestValidExpr(t *testing.T) {
+	ok := [][]int{
+		{0, 1, opV},
+		{0, 1, opV, 2, opH},
+		{0, 1, 2, opV, opH},
+	}
+	bad := [][]int{
+		{0, opV, 1},         // ballot violation
+		{0, 1, opV, opV},    // too many operators
+		{0, 1, 2, opV, opV}, // adjacent equal operators
+		{0, 1},              // missing operator
+	}
+	for _, e := range ok {
+		if !validExpr(e) {
+			t.Errorf("valid expression rejected: %v", e)
+		}
+	}
+	for _, e := range bad {
+		if validExpr(e) {
+			t.Errorf("invalid expression accepted: %v", e)
+		}
+	}
+}
+
+func TestFloorplanBasics(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	blocks := blocksN(r, 8)
+	res, err := Floorplan(blocks, nil, Options{Seed: 1, Moves: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rects) != 8 {
+		t.Fatalf("placed %d rects", len(res.Rects))
+	}
+	total := 0.0
+	for i, rc := range res.Rects {
+		if !rc.Valid() || rc.Area() <= 0 {
+			t.Fatalf("rect %d invalid", i)
+		}
+		if math.Abs(rc.Area()-blocks[i].Area) > 1e-6*blocks[i].Area {
+			t.Errorf("rect %d area %.1f, want %.1f", i, rc.Area(), blocks[i].Area)
+		}
+		if rc.Lo.X < -1e-9 || rc.Lo.Y < -1e-9 || rc.Hi.X > res.W+1e-9 || rc.Hi.Y > res.H+1e-9 {
+			t.Errorf("rect %d outside bounding box", i)
+		}
+		total += rc.Area()
+	}
+	// No overlaps.
+	for i := range res.Rects {
+		for j := i + 1; j < len(res.Rects); j++ {
+			if res.Rects[i].Intersects(res.Rects[j]) {
+				t.Errorf("rects %d and %d overlap", i, j)
+			}
+		}
+	}
+	// Slicing floorplans waste some area but not absurdly much.
+	if res.W*res.H > 1.6*total {
+		t.Errorf("bounding box %.0f vs block area %.0f: too wasteful", res.W*res.H, total)
+	}
+}
+
+func TestFloorplanDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	blocks := blocksN(r, 6)
+	a, err := Floorplan(blocks, nil, Options{Seed: 42, Moves: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Floorplan(blocks, nil, Options{Seed: 42, Moves: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatal("same seed produced different floorplans")
+		}
+	}
+}
+
+func TestAnnealingImprovesOverInitialRow(t *testing.T) {
+	// The initial expression is a single row; annealing should pack far
+	// better (closer to square, less dead area).
+	r := rand.New(rand.NewSource(7))
+	blocks := blocksN(r, 12)
+	rowRes, err := Floorplan(blocks, nil, Options{Seed: 1, Moves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealed, err := Floorplan(blocks, nil, Options{Seed: 1, Moves: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annealed.Cost >= rowRes.Cost {
+		t.Errorf("annealing did not improve: %.4f vs %.4f", annealed.Cost, rowRes.Cost)
+	}
+	// A row of 12 blocks has extreme aspect; annealed should be much more
+	// square.
+	rowAspect := rowRes.W / rowRes.H
+	annAspect := annealed.W / annealed.H
+	if annAspect < 1 {
+		annAspect = 1 / annAspect
+	}
+	if rowAspect < 1 {
+		rowAspect = 1 / rowAspect
+	}
+	if annAspect > rowAspect {
+		t.Errorf("annealed aspect %.1f worse than row %.1f", annAspect, rowAspect)
+	}
+}
+
+func TestWirelengthTermPullsConnectedBlocksTogether(t *testing.T) {
+	// Ten equal blocks; one net connects blocks 0 and 9 heavily. With the
+	// wirelength term their centers should end up closer than without.
+	blocks := make([]Block, 10)
+	for i := range blocks {
+		blocks[i] = Block{Area: 1e4}
+	}
+	nets := []Net{}
+	for k := 0; k < 20; k++ {
+		nets = append(nets, Net{0, 9})
+	}
+	with, err := Floorplan(blocks, nets, Options{Seed: 3, Moves: 30000, WirelengthWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Floorplan(blocks, nil, Options{Seed: 3, Moves: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := with.Rects[0].Center().Manhattan(with.Rects[9].Center())
+	dn := without.Rects[0].Center().Manhattan(without.Rects[9].Center())
+	if dw > dn {
+		t.Errorf("wirelength term did not help: %.0f with vs %.0f without", dw, dn)
+	}
+}
+
+func TestFloorplanValidation(t *testing.T) {
+	if _, err := Floorplan(nil, nil, Options{}); err == nil {
+		t.Error("no blocks accepted")
+	}
+	if _, err := Floorplan([]Block{{Area: -1}}, nil, Options{}); err == nil {
+		t.Error("negative area accepted")
+	}
+	if _, err := Floorplan([]Block{{Area: 1}}, []Net{{5}}, Options{}); err == nil {
+		t.Error("net referencing missing block accepted")
+	}
+}
+
+func TestSingleBlock(t *testing.T) {
+	res, err := Floorplan([]Block{{Area: 400}}, nil, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rects[0].Area()-400) > 1e-9 {
+		t.Errorf("area = %v", res.Rects[0].Area())
+	}
+}
+
+func TestPerturbPreservesValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		blocks := blocksN(r, 3+r.Intn(8))
+		p := &plan{blocks: blocks}
+		n := len(blocks)
+		p.expr = append(p.expr, 0, 1, opV)
+		for b := 2; b < n; b++ {
+			p.expr = append(p.expr, b, opV)
+		}
+		for i := 0; i < 50; i++ {
+			cand, ok := p.perturb(r)
+			if !ok {
+				continue
+			}
+			if !validExpr(cand) {
+				return false
+			}
+			// All operands still present exactly once.
+			seen := map[int]int{}
+			for _, t := range cand {
+				if t >= 0 {
+					seen[t]++
+				}
+			}
+			if len(seen) != n {
+				return false
+			}
+			for _, c := range seen {
+				if c != 1 {
+					return false
+				}
+			}
+			p.expr = cand
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

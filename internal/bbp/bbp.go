@@ -1,0 +1,224 @@
+// Package bbp implements the comparison baseline of Table V: buffer-block
+// planning with feasible regions in the style of Cong, Kong, and Pan
+// (BBP/FR, ICCAD-99), adapted to the paper's length rule (Section IV-C
+// notes that RABID's experiments drive both tools from the same rule since
+// early timing constraints are unreliable).
+//
+// For every (two-pin) net longer than its constraint, the planner computes
+// the evenly spaced ideal buffer positions, snaps each into the free space
+// between macro blocks — buffers may not sit inside blocks, which is
+// precisely the methodological limitation the paper argues against — and
+// routes the net through its buffer chain. Snapping concentrates buffers
+// along block edges and channel crossings, reproducing the baseline's
+// signature: high maximum tile-area percentage (MTAP) and wire overflow,
+// with competitive delays.
+package bbp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bufferdp"
+	"repro/internal/delay"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/rtree"
+	"repro/internal/steiner"
+	"repro/internal/tech"
+	"repro/internal/tile"
+)
+
+// Result carries the Table V statistics for one BBP/FR run.
+type Result struct {
+	Graph      *tile.Graph
+	Routes     []*rtree.Tree
+	Buffers    int
+	MTAP       float64 // max percentage of any tile's area used by buffers
+	WirelenMm  float64
+	WireMax    float64
+	WireAvg    float64
+	Overflows  int
+	MaxDelayPs float64
+	AvgDelayPs float64
+	CPU        time.Duration
+}
+
+// Run plans buffers for the circuit with buffer-block planning. Multi-sink
+// nets must already be decomposed (netlist.Circuit.DecomposeTwoPin), as in
+// the paper's comparison. capacity is the uniform edge capacity W(e) — pass
+// the capacity of the matching RABID run so both tools face the same wire
+// budget.
+func Run(c *netlist.Circuit, capacity int, t tech.Tech) (*Result, error) {
+	t0 := time.Now()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	for _, n := range c.Nets {
+		if len(n.Sinks) != 1 {
+			return nil, fmt.Errorf("bbp: net %d has %d sinks; decompose to two-pin first", n.ID, len(n.Sinks))
+		}
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("bbp: capacity %d < 1", capacity)
+	}
+	eval, err := delay.NewEvaluator(t, c.TileUm)
+	if err != nil {
+		return nil, err
+	}
+	g, err := tile.New(c.GridW, c.GridH, c.BufferSites, capacity)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Graph: g}
+	bufPerTile := make([]int, c.NumTiles())
+	var dst delay.Stats
+	wireTiles := 0
+	for _, n := range c.Nets {
+		pts, bufTiles := planNet(c, n)
+		rt, bufs, err := embedChain(c, pts, bufTiles, n.Sinks[0].Tile)
+		if err != nil {
+			return nil, fmt.Errorf("bbp: net %d: %w", n.ID, err)
+		}
+		res.Routes = append(res.Routes, rt)
+		route.AddUsage(g, rt)
+		wireTiles += rt.NumEdges()
+		for _, b := range bufs {
+			bufPerTile[c.TileIndex(rt.Tile[b.Node])]++
+		}
+		res.Buffers += len(bufs)
+		if ds, err := eval.SinkDelays(rt, bufs); err == nil {
+			dst.Add(ds)
+		}
+	}
+	ws := g.WireCongestion()
+	res.WireMax, res.WireAvg, res.Overflows = ws.Max, ws.Avg, ws.Overflow
+	res.WirelenMm = float64(wireTiles) * c.TileUm / 1000
+	res.MaxDelayPs, res.AvgDelayPs = dst.MaxPs(), dst.AvgPs()
+	res.MTAP = MTAPFromCounts(bufPerTile, c.TileUm)
+	res.CPU = time.Since(t0)
+	return res, nil
+}
+
+// MTAPFromCounts returns the maximum percentage of a tile's area occupied
+// by buffers, given per-tile buffer counts.
+func MTAPFromCounts(bufPerTile []int, tileUm float64) float64 {
+	maxb := 0
+	for _, b := range bufPerTile {
+		if b > maxb {
+			maxb = b
+		}
+	}
+	return float64(maxb) * floorplan.BufferSiteAreaUm2 / (tileUm * tileUm) * 100
+}
+
+// planNet returns the net's via points: source, snapped buffer positions,
+// sink; and which of those points carry buffers.
+func planNet(c *netlist.Circuit, n *netlist.Net) ([]geom.FPt, []bool) {
+	src, snk := n.Source.Pos, n.Sinks[0].Pos
+	distTiles := n.Source.Tile.Manhattan(n.Sinks[0].Tile)
+	k := 0
+	if n.L > 0 {
+		k = (distTiles+n.L-1)/n.L - 1
+		if k < 0 {
+			k = 0
+		}
+	}
+	pts := []geom.FPt{src}
+	bufs := []bool{false}
+	for i := 1; i <= k; i++ {
+		f := float64(i) / float64(k+1)
+		ideal := geom.FPt{X: src.X + f*(snk.X-src.X), Y: src.Y + f*(snk.Y-src.Y)}
+		pts = append(pts, snapToFreeSpace(c, ideal))
+		bufs = append(bufs, true)
+	}
+	pts = append(pts, snk)
+	bufs = append(bufs, false)
+	return pts, bufs
+}
+
+// snapToFreeSpace moves a point out of any macro block to the nearest point
+// on that block's boundary (the channel next to it). Points already in free
+// space are unchanged. This is where BBP's buffer clumping comes from.
+func snapToFreeSpace(c *netlist.Circuit, p geom.FPt) geom.FPt {
+	for _, b := range c.Blocks {
+		if !b.Contains(p) {
+			continue
+		}
+		// Distance to each edge; move to the closest one (plus a hair so
+		// the point is strictly outside).
+		const eps = 1e-3
+		dl := p.X - b.Lo.X
+		dr := b.Hi.X - p.X
+		dd := p.Y - b.Lo.Y
+		du := b.Hi.Y - p.Y
+		m := math.Min(math.Min(dl, dr), math.Min(dd, du))
+		switch m {
+		case dl:
+			p.X = b.Lo.X - eps
+		case dr:
+			p.X = b.Hi.X + eps
+		case dd:
+			p.Y = b.Lo.Y - eps
+		default:
+			p.Y = b.Hi.Y + eps
+		}
+		p.X = math.Min(math.Max(p.X, 0), c.ChipW()-eps)
+		p.Y = math.Min(math.Max(p.Y, 0), c.ChipH()-eps)
+		return p
+	}
+	return p
+}
+
+// embedChain routes the via-point chain with L-shaped tile paths and builds
+// the route tree with trunk buffers at the buffer points' tiles.
+func embedChain(c *netlist.Circuit, pts []geom.FPt, isBuf []bool, sinkTile geom.Pt) (*rtree.Tree, []bufferdp.Buffer, error) {
+	parent := map[geom.Pt]geom.Pt{}
+	srcTile := c.TileOf(pts[0])
+	inTree := func(t geom.Pt) bool {
+		if t == srcTile {
+			return true
+		}
+		_, ok := parent[t]
+		return ok
+	}
+	prevTile := srcTile
+	var bufTiles []geom.Pt
+	for i := 1; i < len(pts); i++ {
+		cur := c.TileOf(pts[i])
+		path := steiner.LPath(prevTile, cur)
+		prev := path[0]
+		for _, tl := range path[1:] {
+			if !inTree(tl) {
+				parent[tl] = prev
+			}
+			prev = tl
+		}
+		if isBuf[i] {
+			bufTiles = append(bufTiles, cur)
+		}
+		prevTile = cur
+	}
+	// The tree is deliberately NOT pruned: when a snapped buffer forces a
+	// detour that doubles back over the chain, the spur out to the buffer
+	// is real wire and the buffer tile must stay on the route.
+	rt, err := rtree.FromParentMap(srcTile, parent, []geom.Pt{sinkTile})
+	if err != nil {
+		return nil, nil, err
+	}
+	nodeOf := map[geom.Pt]int{}
+	for v, tl := range rt.Tile {
+		nodeOf[tl] = v
+	}
+	bufs := make([]bufferdp.Buffer, 0, len(bufTiles))
+	for _, bt := range bufTiles {
+		v, ok := nodeOf[bt]
+		if !ok {
+			return nil, nil, fmt.Errorf("bbp: buffer tile %v missing from route", bt)
+		}
+		bufs = append(bufs, bufferdp.Buffer{Node: v, Branch: -1})
+	}
+	return rt, bufs, nil
+}

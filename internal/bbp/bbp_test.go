@@ -1,0 +1,187 @@
+package bbp
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// twoPin builds a 12x12 circuit with one central block and straight nets.
+func twoPin(t *testing.T, nets int) *netlist.Circuit {
+	t.Helper()
+	c := &netlist.Circuit{
+		Name:        "bbp-unit",
+		GridW:       12,
+		GridH:       12,
+		TileUm:      600,
+		BufferSites: make([]int, 144),
+		Blocks: []geom.Rect{
+			{Lo: geom.FPt{X: 1800, Y: 1800}, Hi: geom.FPt{X: 5400, Y: 5400}},
+		},
+	}
+	for i := range c.BufferSites {
+		c.BufferSites[i] = 4
+	}
+	pin := func(x, y float64) netlist.Pin {
+		p := geom.FPt{X: x, Y: y}
+		return netlist.Pin{Tile: c.TileOf(p), Pos: p}
+	}
+	for i := 0; i < nets; i++ {
+		y := 300 + float64(i%12)*550
+		c.Nets = append(c.Nets, &netlist.Net{
+			ID: i, Name: "n", L: 3,
+			Source: pin(100, y),
+			Sinks:  []netlist.Pin{pin(7100, y)},
+		})
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunBasic(t *testing.T) {
+	c := twoPin(t, 8)
+	res, err := Run(c, 6, tech.Default018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11-tile spans with L=3 need ceil(11/3)-1 = 3 buffers each.
+	if res.Buffers != 8*3 {
+		t.Errorf("buffers = %d, want 24", res.Buffers)
+	}
+	if res.MaxDelayPs <= 0 || res.AvgDelayPs <= 0 {
+		t.Error("delays not computed")
+	}
+	if res.WirelenMm <= 0 {
+		t.Error("wirelength not computed")
+	}
+	if res.MTAP <= 0 {
+		t.Error("MTAP not computed")
+	}
+	for i, rt := range res.Routes {
+		if err := rt.Validate(res.Graph.InGrid); err != nil {
+			t.Fatalf("route %d invalid: %v", i, err)
+		}
+		if rt.Tile[0] != c.Nets[i].Source.Tile {
+			t.Errorf("route %d root wrong", i)
+		}
+		if rt.Tile[rt.SinkNode[0]] != c.Nets[i].Sinks[0].Tile {
+			t.Errorf("route %d sink wrong", i)
+		}
+	}
+}
+
+func TestShortNetsGetNoBuffers(t *testing.T) {
+	c := &netlist.Circuit{
+		Name: "short", GridW: 8, GridH: 8, TileUm: 600,
+		BufferSites: make([]int, 64),
+	}
+	pin := func(x, y float64) netlist.Pin {
+		p := geom.FPt{X: x, Y: y}
+		return netlist.Pin{Tile: c.TileOf(p), Pos: p}
+	}
+	c.Nets = []*netlist.Net{{
+		ID: 0, Name: "n", L: 5,
+		Source: pin(100, 100),
+		Sinks:  []netlist.Pin{pin(1500, 100)}, // 2 tiles apart < L
+	}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, 4, tech.Default018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buffers != 0 {
+		t.Errorf("short net got %d buffers", res.Buffers)
+	}
+}
+
+func TestSnapMovesOutOfBlocks(t *testing.T) {
+	c := twoPin(t, 1)
+	inside := geom.FPt{X: 3000, Y: 3000}
+	p := snapToFreeSpace(c, inside)
+	for _, b := range c.Blocks {
+		if b.Contains(p) {
+			t.Fatalf("snapped point %v still inside block", p)
+		}
+	}
+	// Snapped point is on the nearest edge, not across the chip.
+	if p.Manhattan(inside) > 1300 {
+		t.Errorf("snap moved too far: %v -> %v", inside, p)
+	}
+	free := geom.FPt{X: 100, Y: 100}
+	if snapToFreeSpace(c, free) != free {
+		t.Error("free point moved")
+	}
+}
+
+func TestBuffersClumpAtBlockEdges(t *testing.T) {
+	// Nets crossing the central block must have their mid buffers snapped
+	// to the block boundary: MTAP should exceed a uniform distribution.
+	c := twoPin(t, 12)
+	res, err := Run(c, 8, tech.Default018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform spreading of 36 buffers over 144 tiles would put ~1 buffer
+	// in a tile (MTAP ~0.11%); clumping puts several in the same boundary
+	// tile.
+	uniform := floorplan.BufferSiteAreaUm2 / (600 * 600) * 100
+	if res.MTAP < 2*uniform {
+		t.Errorf("MTAP %.3f%% shows no clumping (uniform would be %.3f%%)", res.MTAP, uniform)
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	c := twoPin(t, 2)
+	if _, err := Run(c, 0, tech.Default018()); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	multi := twoPin(t, 2)
+	multi.Nets[0].Sinks = append(multi.Nets[0].Sinks, multi.Nets[0].Sinks[0])
+	if _, err := Run(multi, 4, tech.Default018()); err == nil {
+		t.Error("multi-sink net accepted")
+	}
+}
+
+func TestMTAPFromCounts(t *testing.T) {
+	counts := []int{0, 3, 1}
+	got := MTAPFromCounts(counts, 600)
+	want := 3 * floorplan.BufferSiteAreaUm2 / (600 * 600) * 100
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("MTAP = %v, want %v", got, want)
+	}
+	if MTAPFromCounts(nil, 600) != 0 {
+		t.Error("empty counts should give 0")
+	}
+}
+
+func TestDecomposedSuiteCircuit(t *testing.T) {
+	spec, err := floorplan.BySuiteName("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := floorplan.Generate(spec, floorplan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := full.DecomposeTwoPin()
+	res, err := Run(c, 8, tech.Default018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buffers == 0 {
+		t.Error("no buffers planned on apte")
+	}
+	if res.MTAP <= 0 {
+		t.Error("MTAP missing")
+	}
+	if len(res.Routes) != len(c.Nets) {
+		t.Error("route count mismatch")
+	}
+}

@@ -1,0 +1,298 @@
+// Package bufferdp implements Stage 3 of RABID: optimal length-based buffer
+// insertion on a routed tree by dynamic programming (the paper's Figs. 6
+// and 9). The algorithm is van Ginneken-style but, because candidates are
+// indexed by the bounded unbuffered downstream wirelength j in [0, L-1]
+// rather than by arbitrary (capacitance, slack) pairs, it runs in O(nL) for
+// single-sink nets and O(mL^2 + nL) for nets with m sinks.
+//
+// Semantics (Fig. 3): the constraint is the *total* wirelength of
+// interconnect driven by any gate — the driver or an inserted buffer — at
+// most L tile units; a cost array entry C_v[j] is the cheapest buffering of
+// the subtree below v whose unbuffered wirelength hanging at v totals j.
+// Joins at branch nodes are therefore min-plus convolutions, and a node may
+// receive several buffers: one decoupling each child branch and one driving
+// the joined load (Fig. 8).
+//
+// Infeasible nets (a stretch through zero-site tiles longer than L) are
+// handled with a violation bucket: the topmost index may absorb extra tiles
+// at a large penalty per tile, never placing a buffer where no site exists.
+// Such nets are reported with Violations > 0 — the "#fails" column of the
+// experiments.
+package bufferdp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rtree"
+)
+
+// ViolationPenalty is the artificial cost per tile of wire driven beyond
+// the length constraint. It dwarfs any realistic sum of Eq. (2) site costs,
+// so the DP only violates the constraint when no feasible solution exists.
+const ViolationPenalty = 1e7
+
+// Buffer is one inserted buffer: it sits in the tile of route-tree node
+// Node. Branch >= 0 means it decouples the edge from Node to child node
+// Branch (Fig. 8(c)/(d)); Branch == -1 means it drives the node's joined
+// downstream load (a trunk buffer, Fig. 8(a)/(b), or any buffer on a
+// degree-one node).
+type Buffer struct {
+	Node   int
+	Branch int
+}
+
+// Assignment is the result of buffer insertion on one net.
+type Assignment struct {
+	// Cost is the summed site cost q(v) of the chosen buffers, plus
+	// ViolationPenalty per violating tile.
+	Cost float64
+	// Buffers lists every inserted buffer; a node appears once per buffer
+	// placed in its tile.
+	Buffers []Buffer
+	// Violations is the number of tile units driven beyond the constraint
+	// across all gates; zero means the length rule is fully satisfied.
+	Violations int
+}
+
+// BufferNodes returns the node index of each buffer (with multiplicity).
+func (a Assignment) BufferNodes() []int {
+	out := make([]int, len(a.Buffers))
+	for i, b := range a.Buffers {
+		out[i] = b.Node
+	}
+	return out
+}
+
+// Feasible reports whether the length constraint was met everywhere.
+func (a Assignment) Feasible() bool { return a.Violations == 0 }
+
+// kptr records how a per-child candidate K_i[j] was formed.
+type kptr struct {
+	fromJ    int16 // index into the child's C array
+	buffered bool  // branch buffer placed at the current node
+	violated bool  // advanced past the bucket limit (costs ViolationPenalty)
+	valid    bool
+}
+
+// jptr records the split of a join cell between the accumulated array and
+// the next child's K array.
+type jptr struct {
+	left, right int16
+	violated    bool
+	valid       bool
+}
+
+// node holds the DP state for one tree node during recovery.
+type node struct {
+	c     []float64 // final cost array C_v
+	k     [][]float64
+	kp    [][]kptr
+	jp    [][]jptr // jp[i] is the split used when folding child i (i >= 1)
+	acc   [][]float64
+	extra []int16 // per index: -1, or the source index when C_v[j] used a trunk buffer
+}
+
+// Assign computes the minimum-cost buffer assignment for the routed tree rt
+// under length constraint L, where q(v) is the Eq. (2) site cost of the
+// tile at route-tree node v (may be +Inf for tiles without free sites).
+func Assign(rt *rtree.Tree, L int, q func(v int) float64) (Assignment, error) {
+	if L < 1 {
+		return Assignment{}, fmt.Errorf("bufferdp: length constraint %d < 1", L)
+	}
+	if L > math.MaxInt16 {
+		return Assignment{}, fmt.Errorf("bufferdp: length constraint %d too large", L)
+	}
+	n := rt.NumNodes()
+	if n == 0 {
+		return Assignment{}, fmt.Errorf("bufferdp: empty tree")
+	}
+	nodes := make([]node, n)
+	inf := math.Inf(1)
+
+	// Arrays run from 0 to L inclusive. Index L — a full constraint's worth
+	// of unbuffered wire — is special: it cannot advance another tile
+	// without violating, but it may be consumed by a trunk buffer at the
+	// same node (which drives exactly j units, Fig. 8(a)) or by the driver
+	// at the root (matching the single-sink algorithm's return of
+	// min{C_v[j] : par(v)=s}, which lets the driver reach L).
+	m := L
+
+	for _, v := range rt.PostOrder() {
+		kids := rt.Children(v)
+		nd := &nodes[v]
+		if len(kids) == 0 {
+			// Leaf: a sink (or a single-tile net's root). No wire hangs
+			// below it, and the sink pin terminates any length count, so
+			// every index is free (Step 1 of Fig. 6).
+			nd.c = make([]float64, m+1)
+			continue
+		}
+		// Build K_i for each child: advance one tile, or buffer here.
+		nd.k = make([][]float64, len(kids))
+		nd.kp = make([][]kptr, len(kids))
+		for i, w := range kids {
+			cw := nodes[w].c
+			k := make([]float64, m+1)
+			kp := make([]kptr, m+1)
+			for j := range k {
+				k[j] = inf
+			}
+			// AdvanceTile: one more tile of wire on the way to v.
+			for j := 1; j <= m; j++ {
+				if j-1 < len(cw) && cw[j-1] < k[j] {
+					k[j] = cw[j-1]
+					kp[j] = kptr{fromJ: int16(j - 1), valid: true}
+				}
+			}
+			// Violation bucket: stay at the top index, paying the penalty.
+			if top := len(cw) - 1; top >= 0 && cw[top] < inf {
+				if c := cw[top] + ViolationPenalty; c < k[m] {
+					k[m] = c
+					kp[m] = kptr{fromJ: int16(top), violated: true, valid: true}
+				}
+			}
+			// BufferTile: a buffer at v decouples and drives this branch
+			// (1 tile of edge + the child's unbuffered load <= L).
+			if qa := q(v); !math.IsInf(qa, 1) {
+				bestJ, bestC := -1, inf
+				for j := 0; j < len(cw) && j <= L-1; j++ {
+					if cw[j] < bestC {
+						bestC, bestJ = cw[j], j
+					}
+				}
+				if bestJ >= 0 && qa+bestC < k[0] {
+					k[0] = qa + bestC
+					kp[0] = kptr{fromJ: int16(bestJ), buffered: true, valid: true}
+				}
+			}
+			nd.k[i] = k
+			nd.kp[i] = kp
+		}
+		// JoinChildren: min-plus convolution, folding children in order.
+		acc := nd.k[0]
+		nd.acc = make([][]float64, len(kids))
+		nd.jp = make([][]jptr, len(kids))
+		nd.acc[0] = acc
+		for i := 1; i < len(kids); i++ {
+			nxt := make([]float64, m+1)
+			np := make([]jptr, m+1)
+			for j := range nxt {
+				nxt[j] = inf
+			}
+			for j1 := 0; j1 <= m; j1++ {
+				if math.IsInf(acc[j1], 1) {
+					continue
+				}
+				for j2 := 0; j2 <= m; j2++ {
+					if math.IsInf(nd.k[i][j2], 1) {
+						continue
+					}
+					sum := acc[j1] + nd.k[i][j2]
+					tgt := j1 + j2
+					viol := false
+					if tgt > m {
+						// Joint load exceeds the bucket; park at the top
+						// with a penalty per excess tile.
+						sum += float64(tgt-m) * ViolationPenalty
+						tgt = m
+						viol = true
+					}
+					if sum < nxt[tgt] {
+						nxt[tgt] = sum
+						np[tgt] = jptr{left: int16(j1), right: int16(j2), violated: viol, valid: true}
+					}
+				}
+			}
+			acc = nxt
+			nd.acc[i] = acc
+			nd.jp[i] = np
+		}
+		// C_v starts as the joined array.
+		nd.c = append([]float64(nil), acc...)
+		nd.extra = make([]int16, m+1)
+		for j := range nd.extra {
+			nd.extra[j] = -1
+		}
+		// BufferMultiChildren: for branch nodes, a trunk buffer at v may
+		// drive the joined load (Fig. 8(a)/(b)).
+		if len(kids) >= 2 {
+			if qa := q(v); !math.IsInf(qa, 1) {
+				bestJ, bestC := -1, inf
+				for j := 0; j <= m; j++ {
+					if acc[j] < bestC {
+						bestC, bestJ = acc[j], j
+					}
+				}
+				if bestJ >= 0 && qa+bestC < nd.c[0] {
+					nd.c[0] = qa + bestC
+					nd.extra[0] = int16(bestJ)
+				}
+			}
+		}
+	}
+
+	// The answer is the cheapest root entry; index L lets the driver itself
+	// drive a full constraint's worth of wire.
+	root := &nodes[0]
+	bestJ, bestC := -1, inf
+	for j, c := range root.c {
+		if c < bestC {
+			bestC, bestJ = c, j
+		}
+	}
+	if bestJ < 0 {
+		return Assignment{}, fmt.Errorf("bufferdp: no solution (unexpected: violation buckets should always apply)")
+	}
+	a := Assignment{Cost: bestC}
+	recover_(rt, nodes, 0, bestJ, &a)
+	return a, nil
+}
+
+// recover_ replays the DP decisions top-down, collecting buffers and
+// violation counts. v is the node, j the chosen index of C_v.
+func recover_(rt *rtree.Tree, nodes []node, v, j int, a *Assignment) {
+	kids := rt.Children(v)
+	if len(kids) == 0 {
+		return
+	}
+	nd := &nodes[v]
+	if nd.extra != nil && j == 0 && nd.extra[0] >= 0 {
+		// Trunk buffer at v (only set when it beat the plain join).
+		a.Buffers = append(a.Buffers, Buffer{Node: v, Branch: -1})
+		j = int(nd.extra[0])
+	}
+	// Unfold the joins from the last child back to the first.
+	idx := make([]int, len(kids))
+	for i := len(kids) - 1; i >= 1; i-- {
+		p := nd.jp[i][j]
+		if !p.valid {
+			panic(fmt.Sprintf("bufferdp: invalid join pointer at node %d index %d", v, j))
+		}
+		if p.violated {
+			a.Violations += int(p.left) + int(p.right) - j
+		}
+		idx[i] = int(p.right)
+		j = int(p.left)
+	}
+	idx[0] = j
+	for i, w := range kids {
+		p := nd.kp[i][idx[i]]
+		if !p.valid {
+			panic(fmt.Sprintf("bufferdp: invalid K pointer at node %d child %d index %d", v, i, idx[i]))
+		}
+		if p.buffered {
+			role := w
+			if len(kids) == 1 {
+				// A buffer on a degree-one node drives the whole (single)
+				// downstream branch; report it as a trunk buffer.
+				role = -1
+			}
+			a.Buffers = append(a.Buffers, Buffer{Node: v, Branch: role})
+		}
+		if p.violated {
+			a.Violations++
+		}
+		recover_(rt, nodes, w, int(p.fromJ), a)
+	}
+}

@@ -1,0 +1,482 @@
+package bufferdp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// pathTree builds a straight route of n tiles: source node 0, sink node n-1.
+func pathTree(n int) *rtree.Tree {
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x < n; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	t, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{{X: n - 1}})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// qFromSlice maps node index -> cost with +Inf for negative entries.
+func qFromSlice(qs []float64) func(int) float64 {
+	return func(v int) float64 {
+		if qs[v] < 0 {
+			return math.Inf(1)
+		}
+		return qs[v]
+	}
+}
+
+// TestPaperFig5Example reproduces the worked example of Figs. 5 and 7:
+// tiles source, q = 1.3, 8.6, 0.5, inf, 1.0, inf, sink; L = 3. The optimal
+// solution costs 1.5 with buffers in the third and fifth cost tiles.
+func TestPaperFig5Example(t *testing.T) {
+	rt := pathTree(8) // source + 6 cost tiles + sink
+	qs := []float64{1000, 1.3, 8.6, 0.5, -1, 1.0, -1, 1000}
+	a, err := Assign(rt, 3, qFromSlice(qs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Cost-1.5) > 1e-12 {
+		t.Errorf("cost = %v, want 1.5", a.Cost)
+	}
+	if !a.Feasible() {
+		t.Error("example must be feasible")
+	}
+	got := a.BufferNodes()
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Errorf("buffers at nodes %v, want [3 5]", got)
+	}
+}
+
+// TestFig3StarInterpretation checks the total-length rule: a driver with
+// several 3-tile branches drives their SUM, so with L = 3 buffers are
+// required even though each path distance is only 3.
+func TestFig3StarInterpretation(t *testing.T) {
+	// Star: source center, three straight 3-tile branches (total load 9).
+	parent := map[geom.Pt]geom.Pt{}
+	addBranch := func(d geom.Pt) geom.Pt {
+		cur := geom.Pt{}
+		for i := 0; i < 3; i++ {
+			nxt := cur.Add(d)
+			parent[nxt] = cur
+			cur = nxt
+		}
+		return cur
+	}
+	s1 := addBranch(geom.Pt{X: 1})
+	s2 := addBranch(geom.Pt{X: -1})
+	s3 := addBranch(geom.Pt{Y: 1})
+	rt, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{s1, s2, s3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := func(v int) float64 { return 0.25 }
+	a, err := Assign(rt, 3, cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible() {
+		t.Fatal("star with cheap sites must be feasible")
+	}
+	if len(a.Buffers) < 2 {
+		t.Errorf("total-length rule requires >= 2 buffers for 9 units at L=3, got %d", len(a.Buffers))
+	}
+	// Under a PATH-distance rule zero buffers would suffice; confirm the
+	// unbuffered solution is NOT what we returned.
+	if len(a.Buffers) == 0 {
+		t.Error("path-distance semantics detected")
+	}
+}
+
+// TestFig8TwoChildCases drives a branch node through the four buffering
+// configurations of Fig. 8 by adjusting branch lengths and site costs.
+func TestFig8TwoChildCases(t *testing.T) {
+	// Build a Y: trunk of 1 edge to node b, then two branches of length 2.
+	mk := func() *rtree.Tree {
+		parent := map[geom.Pt]geom.Pt{
+			{X: 1, Y: 0}: {X: 0, Y: 0},
+			{X: 2, Y: 0}: {X: 1, Y: 0}, {X: 3, Y: 0}: {X: 2, Y: 0},
+			{X: 1, Y: 1}: {X: 1, Y: 0}, {X: 1, Y: 2}: {X: 1, Y: 1},
+		}
+		rt, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{{X: 3, Y: 0}, {X: 1, Y: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	rt := mk()
+	branchNode := -1
+	for v := range rt.Tile {
+		if rt.Tile[v] == (geom.Pt{X: 1, Y: 0}) {
+			branchNode = v
+		}
+	}
+	if branchNode < 0 {
+		t.Fatal("branch node not found")
+	}
+	// Total load below the branch node is 4 (two 2-edge branches); with the
+	// trunk edge the driver would see 5. L=5: driver alone suffices -> no
+	// buffers. L=4: one trunk buffer at the branch node drives all 4
+	// (Fig. 8(a)). L=2: each branch needs decoupling (Fig. 8(d)).
+	q := func(v int) float64 { return 1.0 }
+	a, err := Assign(rt, 5, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Buffers) != 0 || !a.Feasible() {
+		t.Errorf("L=5: want no buffers, got %v", a.Buffers)
+	}
+	a, err = Assign(rt, 4, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Buffers) != 1 || a.Buffers[0].Node != branchNode || a.Buffers[0].Branch != -1 || !a.Feasible() {
+		t.Errorf("L=4: want single trunk buffer at %d, got %v", branchNode, a.Buffers)
+	}
+	a, err = Assign(rt, 2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible() {
+		t.Fatal("L=2 must be feasible with cheap sites everywhere")
+	}
+	atBranch := 0
+	for _, b := range a.Buffers {
+		if b.Node == branchNode {
+			atBranch++
+		}
+	}
+	if atBranch < 2 {
+		t.Errorf("L=2: expected both branches decoupled at node %d (Fig. 8(d)), buffers %v", branchNode, a.Buffers)
+	}
+}
+
+func TestUnbufferableNetReportsViolations(t *testing.T) {
+	// 6-edge path, L=2, and no tile has any sites.
+	rt := pathTree(7)
+	noSites := func(v int) float64 { return math.Inf(1) }
+	a, err := Assign(rt, 2, noSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Feasible() {
+		t.Fatal("unbufferable net reported feasible")
+	}
+	if len(a.Buffers) != 0 {
+		t.Errorf("buffers placed on infinite-cost tiles: %v", a.Buffers)
+	}
+	// 6 edges driven, 2 allowed: 4 tiles of excess.
+	if a.Violations != 4 {
+		t.Errorf("violations = %d, want 4", a.Violations)
+	}
+}
+
+func TestPartiallyBlockedUsesAvailableSites(t *testing.T) {
+	// Path of 9 tiles; only node 4 has a site. L=4: driver covers 4 edges
+	// (to node 4), buffer covers the last 4.
+	rt := pathTree(9)
+	q := func(v int) float64 {
+		if v == 4 {
+			return 2.0
+		}
+		return math.Inf(1)
+	}
+	a, err := Assign(rt, 4, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible() || len(a.Buffers) != 1 || a.Buffers[0].Node != 4 {
+		t.Errorf("want single buffer at node 4, got %+v", a)
+	}
+	if math.Abs(a.Cost-2.0) > 1e-12 {
+		t.Errorf("cost = %v", a.Cost)
+	}
+}
+
+func TestSingleTileNet(t *testing.T) {
+	rt, err := rtree.FromParentMap(geom.Pt{X: 2, Y: 2}, nil, []geom.Pt{{X: 2, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(rt, 3, func(int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != 0 || len(a.Buffers) != 0 || !a.Feasible() {
+		t.Errorf("single-tile net: %+v", a)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	rt := pathTree(3)
+	if _, err := Assign(rt, 0, func(int) float64 { return 1 }); err == nil {
+		t.Error("L=0 accepted")
+	}
+}
+
+// --- brute-force reference ------------------------------------------------
+
+// bruteForce enumerates every placement of trunk buffers (at a node,
+// driving its joined subtree) and branch buffers (at a node, decoupling one
+// child edge), checking the total-length rule for the driver and each
+// buffer. Returns the minimum cost and feasibility.
+func bruteForce(rt *rtree.Tree, L int, q func(int) float64) (float64, bool) {
+	n := rt.NumNodes()
+	type edge struct{ v, w int }
+	var edges []edge
+	for v := 0; v < n; v++ {
+		for _, w := range rt.Children(v) {
+			edges = append(edges, edge{v, w})
+		}
+	}
+	best := math.Inf(1)
+	feasible := false
+	trunk := make([]bool, n)
+	branch := make([]bool, len(edges))
+	branchAt := make(map[[2]int]bool, len(edges))
+
+	var f func(v int) int
+	g := func(w int) int {
+		if trunk[w] {
+			return 0
+		}
+		return f(w)
+	}
+	f = func(v int) int {
+		total := 0
+		for _, w := range rt.Children(v) {
+			if branchAt[[2]int{v, w}] {
+				continue
+			}
+			total += 1 + g(w)
+		}
+		return total
+	}
+	check := func() {
+		cost := 0.0
+		for v := 0; v < n; v++ {
+			if trunk[v] {
+				c := q(v)
+				if math.IsInf(c, 1) {
+					return
+				}
+				cost += c
+				if f(v) > L {
+					return
+				}
+			}
+		}
+		for i, e := range edges {
+			if branch[i] {
+				c := q(e.v)
+				if math.IsInf(c, 1) {
+					return
+				}
+				cost += c
+				if 1+g(e.w) > L {
+					return
+				}
+			}
+		}
+		drv := f(0)
+		if trunk[0] {
+			drv = 0
+		}
+		if drv > L {
+			return
+		}
+		feasible = true
+		if cost < best {
+			best = cost
+		}
+	}
+	var enum func(i int)
+	enum = func(i int) {
+		if i == n+len(edges) {
+			for k, e := range edges {
+				branchAt[[2]int{e.v, e.w}] = branch[k]
+			}
+			check()
+			return
+		}
+		if i < n {
+			trunk[i] = false
+			enum(i + 1)
+			trunk[i] = true
+			enum(i + 1)
+			trunk[i] = false
+			return
+		}
+		branch[i-n] = false
+		enum(i + 1)
+		branch[i-n] = true
+		enum(i + 1)
+		branch[i-n] = false
+	}
+	enum(0)
+	return best, feasible
+}
+
+// randomTree builds a small random routed tree with sinks at all leaves.
+func randomTree(r *rand.Rand, maxNodes int) *rtree.Tree {
+	parent := map[geom.Pt]geom.Pt{}
+	tiles := []geom.Pt{{}}
+	for len(tiles) < maxNodes {
+		base := tiles[r.Intn(len(tiles))]
+		d := [4]geom.Pt{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}[r.Intn(4)]
+		nxt := base.Add(d)
+		if nxt == (geom.Pt{}) {
+			continue
+		}
+		if _, ok := parent[nxt]; ok {
+			continue
+		}
+		parent[nxt] = base
+		tiles = append(tiles, nxt)
+	}
+	// Sinks: all leaves.
+	hasChild := map[geom.Pt]bool{}
+	for _, p := range parent {
+		hasChild[p] = true
+	}
+	var sinks []geom.Pt
+	for c := range parent {
+		if !hasChild[c] {
+			sinks = append(sinks, c)
+		}
+	}
+	if len(sinks) == 0 {
+		sinks = []geom.Pt{{}}
+	}
+	rt, err := rtree.FromParentMap(geom.Pt{}, parent, sinks)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+func TestDPMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rt := randomTree(r, 2+r.Intn(6))
+		L := 1 + r.Intn(4)
+		qs := make([]float64, rt.NumNodes())
+		for i := range qs {
+			switch r.Intn(4) {
+			case 0:
+				qs[i] = -1 // +Inf
+			default:
+				qs[i] = 0.1 + r.Float64()*5
+			}
+		}
+		q := qFromSlice(qs)
+		a, err := Assign(rt, L, q)
+		if err != nil {
+			return false
+		}
+		want, feasible := bruteForce(rt, L, q)
+		if !feasible {
+			return !a.Feasible()
+		}
+		if !a.Feasible() {
+			return false
+		}
+		// Cross-check the reported cost against the buffers actually chosen.
+		sum := 0.0
+		for _, b := range a.Buffers {
+			sum += q(b.Node)
+		}
+		if math.Abs(sum-a.Cost) > 1e-9 {
+			return false
+		}
+		return math.Abs(a.Cost-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDPPathMatchesBruteForceLongerPaths(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(8)
+		rt := pathTree(n)
+		L := 1 + r.Intn(5)
+		qs := make([]float64, n)
+		for i := range qs {
+			if r.Intn(5) == 0 {
+				qs[i] = -1
+			} else {
+				qs[i] = 0.1 + r.Float64()*3
+			}
+		}
+		q := qFromSlice(qs)
+		a, err := Assign(rt, L, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, feasible := bruteForce(rt, L, q)
+		if feasible != a.Feasible() {
+			t.Fatalf("trial %d: feasibility mismatch (brute %v, dp %v) n=%d L=%d q=%v",
+				trial, feasible, a.Feasible(), n, L, qs)
+		}
+		if feasible && math.Abs(a.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: cost %v != brute %v (n=%d L=%d q=%v)", trial, a.Cost, want, n, L, qs)
+		}
+	}
+}
+
+func TestLinearComplexityShape(t *testing.T) {
+	// Not a benchmark, just a guard: a 2000-tile path with L=8 must solve
+	// near-instantly and place roughly n/L buffers.
+	rt := pathTree(2000)
+	a, err := Assign(rt, 8, func(v int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible() {
+		t.Fatal("long path must be feasible")
+	}
+	if len(a.Buffers) < 1999/8 || len(a.Buffers) > 1999/8*2 {
+		t.Errorf("buffer count %d implausible for n=2000 L=8", len(a.Buffers))
+	}
+}
+
+func TestBuffersNeverOnInfiniteTiles(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rt := randomTree(r, 2+r.Intn(10))
+		L := 1 + r.Intn(3)
+		qs := make([]float64, rt.NumNodes())
+		for i := range qs {
+			if r.Intn(2) == 0 {
+				qs[i] = -1
+			} else {
+				qs[i] = 1
+			}
+		}
+		q := qFromSlice(qs)
+		a, err := Assign(rt, L, q)
+		if err != nil {
+			return false
+		}
+		for _, b := range a.Buffers {
+			if math.IsInf(q(b.Node), 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package bufferdp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSingleSinkAgreement cross-checks the literal Fig. 6 transcription
+// against the general DP on fuzzer-chosen paths. Each input byte is one
+// tile's site cost (255 = no sites); the first byte picks L.
+func FuzzSingleSinkAgreement(f *testing.F) {
+	f.Add([]byte{3, 13, 86, 5, 255, 10, 255})
+	f.Add([]byte{1, 255, 255})
+	f.Add([]byte{5, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 40 {
+			return
+		}
+		L := int(data[0])%6 + 1
+		qbytes := data[1:]
+		q := make([]float64, len(qbytes))
+		for i, b := range qbytes {
+			if b == 255 {
+				q[i] = math.Inf(1)
+			} else {
+				q[i] = float64(b)/10 + 0.05
+			}
+		}
+		lit, err := SingleSinkCost(q, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(q) + 2
+		rt := pathTree(n)
+		gen, err := Assign(rt, L, func(v int) float64 {
+			if v == 0 || v == n-1 {
+				return math.Inf(1)
+			}
+			return q[v-1]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(lit, 1) {
+			if gen.Feasible() {
+				t.Fatalf("literal infeasible but general DP feasible (L=%d q=%v)", L, q)
+			}
+			return
+		}
+		if !gen.Feasible() || math.Abs(gen.Cost-lit) > 1e-9 {
+			t.Fatalf("cost mismatch: literal %v, general %v (feasible=%v) L=%d q=%v",
+				lit, gen.Cost, gen.Feasible(), L, q)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package bufferdp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SingleSinkArrays executes the paper's single-sink buffer insertion
+// algorithm (Fig. 6) literally and returns the full cost-array table, one
+// row per tile from the tile nearest the source to the sink, exactly as
+// printed in Fig. 7. q lists the site costs of the tiles strictly between
+// the source and the sink, ordered source side first; the returned table
+// has len(q)+1 columns (q tiles plus the sink) and L rows (C_v[0..L-1]).
+//
+// This is an independent, direct transcription of the pseudocode — the
+// general multi-sink Assign must agree with it on paths, which the tests
+// verify — kept for exactness against the worked example and as teaching
+// code.
+func SingleSinkArrays(q []float64, L int) ([][]float64, error) {
+	if L < 1 {
+		return nil, fmt.Errorf("bufferdp: length constraint %d < 1", L)
+	}
+	cols := len(q) + 1
+	table := make([][]float64, cols)
+	// Step 1: C_t[j] = 0 for the sink (last column).
+	table[cols-1] = make([]float64, L)
+	// Step 2: walk toward the source.
+	for i := cols - 2; i >= 0; i-- {
+		prev := table[i+1]
+		cur := make([]float64, L)
+		for j := 1; j < L; j++ {
+			cur[j] = prev[j-1]
+		}
+		best := math.Inf(1)
+		for j := 0; j < L; j++ {
+			if prev[j] < best {
+				best = prev[j]
+			}
+		}
+		cur[0] = q[i] + best
+		table[i] = cur
+	}
+	return table, nil
+}
+
+// SingleSinkCost returns the optimal buffering cost for the path: Step 3
+// of Fig. 6, min over the column adjacent to the source.
+func SingleSinkCost(q []float64, L int) (float64, error) {
+	table, err := SingleSinkArrays(q, L)
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	for _, c := range table[0] {
+		if c < best {
+			best = c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,515 @@
+// Package core implements RABID — Resource Allocation for Buffer and
+// Interconnect Distribution — the paper's four-stage heuristic:
+//
+//  1. initial Steiner tree construction (Prim–Dijkstra + overlap removal),
+//  2. wire congestion reduction (Nair-style full rip-up-and-reroute under
+//     the Eq. (1) cost),
+//  3. buffer assignment (length-based dynamic programming under the Eq. (2)
+//     cost with the probabilistic demand term p(v)),
+//  4. final post-processing (per-two-path rip-up-and-reroute under the
+//     combined cost, then buffer reinsertion).
+//
+// Run returns per-stage statistics matching the columns of the paper's
+// Table II.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/bufferdp"
+	"repro/internal/delay"
+	"repro/internal/geom"
+	"repro/internal/mcf"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/rtree"
+	"repro/internal/steiner"
+	"repro/internal/tech"
+	"repro/internal/tile"
+)
+
+// Params configures a RABID run.
+type Params struct {
+	// Alpha is the Prim–Dijkstra radius/wirelength tradeoff (paper: 0.4).
+	Alpha float64
+	// RouteOpt configures the congestion-driven router of Stages 2 and 4.
+	RouteOpt route.Options
+	// MaxRipupPasses bounds Stage 2 (paper: 3 complete iterations).
+	MaxRipupPasses int
+	// Capacity is the uniform edge capacity W(e); 0 calibrates it so that
+	// the Stage-1 average congestion is TargetStage1Avg (see DESIGN.md —
+	// the paper never tabulates W(e)).
+	Capacity int
+	// TargetStage1Avg is the calibration target (default 0.25).
+	TargetStage1Avg float64
+	// Tech is the technology used for Elmore delay reporting.
+	Tech tech.Tech
+	// SkipStage4 disables post-processing (for stage ablations).
+	SkipStage4 bool
+	// DisableDemandTerm zeroes the probabilistic p(v) term of Eq. (2)
+	// (for ablations of the Stage-3 cost).
+	DisableDemandTerm bool
+	// UseMCFRouter replaces the Stage-2 rip-up-and-reroute with the
+	// multicommodity-flow global router — the alternative the paper names
+	// ("e.g., the multicommodity flow-based approach of [1]").
+	UseMCFRouter bool
+}
+
+// DefaultParams returns the paper's parameter set.
+func DefaultParams() Params {
+	return Params{
+		Alpha:           0.4,
+		RouteOpt:        route.DefaultOptions(),
+		MaxRipupPasses:  3,
+		TargetStage1Avg: 0.25,
+		Tech:            tech.Default018(),
+	}
+}
+
+// StageStats reports the Table II columns after one stage.
+type StageStats struct {
+	Stage      int
+	WireMax    float64 // max w(e)/W(e)
+	WireAvg    float64 // avg w(e)/W(e)
+	Overflows  int     // sum of w(e)-W(e) over overflowing edges
+	BufMax     float64 // max b(v)/B(v)
+	BufAvg     float64 // avg b(v)/B(v) over tiles with sites
+	Buffers    int
+	Fails      int     // nets violating their length constraint
+	WirelenMm  float64 // total routed wirelength
+	MaxDelayPs float64
+	AvgDelayPs float64
+	CPU        time.Duration
+}
+
+// Result is a completed RABID run.
+type Result struct {
+	Circuit  *netlist.Circuit
+	Params   Params
+	Capacity int
+	Graph    *tile.Graph
+	Routes   []*rtree.Tree
+	// Assignments holds the final buffer assignment per net (nil before
+	// Stage 3 for a net that has not been processed).
+	Assignments []bufferdp.Assignment
+	Stages      []StageStats
+}
+
+// TotalBuffers returns the number of buffers inserted across all nets.
+func (r *Result) TotalBuffers() int {
+	n := 0
+	for _, a := range r.Assignments {
+		n += len(a.Buffers)
+	}
+	return n
+}
+
+// state carries the pipeline between stages.
+type state struct {
+	c      *netlist.Circuit
+	p      Params
+	g      *tile.Graph
+	eval   delay.Evaluator
+	routes []*rtree.Tree
+	asg    []bufferdp.Assignment
+	hasAsg []bool
+	// bufTiles caches, per net, the tile index of every committed buffer so
+	// Stage 4 can release them.
+	bufTiles [][]int
+	delays   []float64 // per-net max sink delay, for ordering
+}
+
+// Run executes the full RABID pipeline on the circuit.
+func Run(c *netlist.Circuit, p Params) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if p.MaxRipupPasses < 1 {
+		return nil, fmt.Errorf("core: MaxRipupPasses %d < 1", p.MaxRipupPasses)
+	}
+	eval, err := delay.NewEvaluator(p.Tech, c.TileUm)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{
+		c:        c,
+		p:        p,
+		eval:     eval,
+		routes:   make([]*rtree.Tree, len(c.Nets)),
+		asg:      make([]bufferdp.Assignment, len(c.Nets)),
+		hasAsg:   make([]bool, len(c.Nets)),
+		bufTiles: make([][]int, len(c.Nets)),
+		delays:   make([]float64, len(c.Nets)),
+	}
+	res := &Result{Circuit: c, Params: p}
+
+	run := func(stage int, f func() error) error {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("core: stage %d: %w", stage, err)
+		}
+		s := st.snapshot(stage)
+		s.CPU = time.Since(t0)
+		res.Stages = append(res.Stages, s)
+		return nil
+	}
+	if err := run(1, st.stage1); err != nil {
+		return nil, err
+	}
+	if err := run(2, st.stage2); err != nil {
+		return nil, err
+	}
+	if err := run(3, st.stage3); err != nil {
+		return nil, err
+	}
+	if !p.SkipStage4 {
+		if err := run(4, st.stage4); err != nil {
+			return nil, err
+		}
+	}
+	res.Capacity = st.g.Capacity(0)
+	res.Graph = st.g
+	res.Routes = st.routes
+	res.Assignments = st.asg
+	return res, nil
+}
+
+// stage1 builds the initial Steiner routes and the calibrated tile graph.
+func (s *state) stage1() error {
+	for i, n := range s.c.Nets {
+		rt, err := steiner.InitialRoute(n, s.p.Alpha)
+		if err != nil {
+			return err
+		}
+		s.routes[i] = rt
+	}
+	// Register usage on a provisional graph to calibrate capacity.
+	prov, err := tile.New(s.c.GridW, s.c.GridH, s.c.BufferSites, 1)
+	if err != nil {
+		return err
+	}
+	for _, rt := range s.routes {
+		route.AddUsage(prov, rt)
+	}
+	capacity := s.p.Capacity
+	if capacity == 0 {
+		target := s.p.TargetStage1Avg
+		if target <= 0 {
+			target = 0.25
+		}
+		capacity = tile.CalibrateCapacity(prov.UsageSnapshot(), prov.NumEdges(), target)
+	}
+	s.g, err = tile.New(s.c.GridW, s.c.GridH, s.c.BufferSites, capacity)
+	if err != nil {
+		return err
+	}
+	for _, rt := range s.routes {
+		route.AddUsage(s.g, rt)
+	}
+	s.refreshDelays()
+	return nil
+}
+
+// stage2 reduces wire congestion by whole-net rip-up and reroute, or by
+// the multicommodity-flow router when configured.
+func (s *state) stage2() error {
+	if s.p.UseMCFRouter {
+		res, err := mcf.Route(s.g, s.c.Nets, mcf.Options{RouteOpt: s.p.RouteOpt})
+		if err != nil {
+			return err
+		}
+		for i, rt := range res.Routes {
+			route.RemoveUsage(s.g, s.routes[i])
+			s.routes[i] = rt
+			route.AddUsage(s.g, rt)
+		}
+		s.refreshDelays()
+		return nil
+	}
+	order := s.orderByDelay(false) // smallest delay first
+	if _, err := route.ReduceCongestion(s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, s.p.RouteOpt); err != nil {
+		return err
+	}
+	s.refreshDelays()
+	return nil
+}
+
+// stage3 assigns buffer sites to every net with the length-based DP.
+func (s *state) stage3() error {
+	// Prime the demand term p(v): every unprocessed net contributes 1/L to
+	// each tile its route crosses.
+	if !s.p.DisableDemandTerm {
+		for i, rt := range s.routes {
+			s.addDemand(rt, 1/float64(s.c.Nets[i].L))
+		}
+	}
+	order := s.orderByDelay(true) // highest delay first
+	for _, i := range order {
+		if !s.p.DisableDemandTerm {
+			s.addDemand(s.routes[i], -1/float64(s.c.Nets[i].L))
+		}
+		if err := s.assignNet(i); err != nil {
+			return err
+		}
+	}
+	s.refreshDelays()
+	return nil
+}
+
+// assignNet runs the DP for net i on its current route and commits the
+// buffers to the tile graph. Because q(v) is evaluated once per net (as in
+// the paper), a decoupling solution can ask for more buffers in one tile
+// than it has free sites; such tiles are banned for this net and the DP is
+// re-run, so that b(v) <= B(v) is never violated.
+func (s *state) assignNet(i int) error {
+	rt := s.routes[i]
+	banned := map[int]bool{}
+	var a bufferdp.Assignment
+	for {
+		q := func(v int) float64 {
+			ti := s.g.TileIndex(rt.Tile[v])
+			if banned[ti] {
+				return math.Inf(1)
+			}
+			return s.g.SiteCost(ti)
+		}
+		var err error
+		a, err = bufferdp.Assign(rt, s.c.Nets[i].L, q)
+		if err != nil {
+			return err
+		}
+		over := -1
+		want := map[int]int{}
+		for _, b := range a.Buffers {
+			ti := s.g.TileIndex(rt.Tile[b.Node])
+			want[ti]++
+			if want[ti] > s.g.Sites(ti)-s.g.UsedSites(ti) {
+				over = ti
+			}
+		}
+		if over < 0 {
+			break
+		}
+		banned[over] = true
+	}
+	s.asg[i] = a
+	s.hasAsg[i] = true
+	s.bufTiles[i] = s.bufTiles[i][:0]
+	for _, b := range a.Buffers {
+		ti := s.g.TileIndex(rt.Tile[b.Node])
+		s.g.AddBuffer(ti)
+		s.bufTiles[i] = append(s.bufTiles[i], ti)
+	}
+	return nil
+}
+
+// releaseNet removes net i's committed buffers from the graph.
+func (s *state) releaseNet(i int) {
+	for _, ti := range s.bufTiles[i] {
+		s.g.RemoveBuffer(ti)
+	}
+	s.bufTiles[i] = s.bufTiles[i][:0]
+	s.asg[i] = bufferdp.Assignment{}
+	s.hasAsg[i] = false
+}
+
+// stage4 post-processes each net: every two-path is ripped up and
+// reconnected under the combined wire+buffer cost, then the net's buffers
+// are reinserted from scratch.
+func (s *state) stage4() error {
+	order := s.orderByDelay(false)
+	for _, i := range order {
+		s.releaseNet(i)
+		if err := s.reworkNet(i); err != nil {
+			return err
+		}
+		if err := s.assignNet(i); err != nil {
+			return err
+		}
+	}
+	s.refreshDelays()
+	return nil
+}
+
+// reworkNet reroutes net i one two-path at a time.
+func (s *state) reworkNet(i int) error {
+	n := s.c.Nets[i]
+	processed := map[[2]geom.Pt]bool{}
+	for {
+		rt := s.routes[i]
+		paths := rt.TwoPaths()
+		var pick []int
+		for _, p := range paths {
+			key := [2]geom.Pt{rt.Tile[p[0]], rt.Tile[p[len(p)-1]]}
+			if !processed[key] {
+				pick = p
+				break
+			}
+		}
+		if pick == nil {
+			return nil
+		}
+		head := rt.Tile[pick[0]]
+		tail := rt.Tile[pick[len(pick)-1]]
+		processed[[2]geom.Pt{head, tail}] = true
+
+		// Remove the whole net's wires, rebuild the tree with the new
+		// reconnection, and re-register. Blocked tiles are the tree tiles
+		// that must not be crossed: everything except the ripped interior
+		// and the endpoints themselves.
+		route.RemoveUsage(s.g, rt)
+		interior := map[geom.Pt]bool{}
+		for _, v := range pick[1 : len(pick)-1] {
+			interior[rt.Tile[v]] = true
+		}
+		blocked := map[geom.Pt]bool{}
+		for _, t := range rt.Tile {
+			if !interior[t] && t != head && t != tail {
+				blocked[t] = true
+			}
+		}
+		newPath, err := route.BufferAwarePath(s.g, tail, head, n.L, blocked, s.p.RouteOpt)
+		if err != nil {
+			// Keep the old route if no reconnection exists (should not
+			// happen: the ripped path itself is always available).
+			route.AddUsage(s.g, rt)
+			continue
+		}
+		nt, err := spliceTwoPath(rt, pick, newPath)
+		if err != nil {
+			route.AddUsage(s.g, rt)
+			return err
+		}
+		s.routes[i] = nt
+		route.AddUsage(s.g, nt)
+	}
+}
+
+// spliceTwoPath rebuilds the route tree with the interior of the two-path
+// `pick` replaced by newPath (which runs head..tail inclusive).
+func spliceTwoPath(rt *rtree.Tree, pick []int, newPath []geom.Pt) (*rtree.Tree, error) {
+	head := rt.Tile[pick[0]]
+	tail := rt.Tile[pick[len(pick)-1]]
+	if newPath[0] != head || newPath[len(newPath)-1] != tail {
+		return nil, fmt.Errorf("core: splice path endpoints %v..%v, want %v..%v",
+			newPath[0], newPath[len(newPath)-1], head, tail)
+	}
+	interior := map[geom.Pt]bool{}
+	for _, v := range pick[1 : len(pick)-1] {
+		interior[rt.Tile[v]] = true
+	}
+	parent := map[geom.Pt]geom.Pt{}
+	for v := 1; v < rt.NumNodes(); v++ {
+		t := rt.Tile[v]
+		if interior[t] || t == tail {
+			continue // dropped interior; tail re-parents below
+		}
+		parent[t] = rt.Tile[rt.Parent[v]]
+	}
+	prev := head
+	for _, t := range newPath[1:] {
+		if t == tail {
+			parent[tail] = prev
+			prev = t
+			continue
+		}
+		if _, ok := parent[t]; !ok && t != rt.Tile[0] {
+			parent[t] = prev
+		}
+		prev = t
+	}
+	sinks := make([]geom.Pt, len(rt.SinkNode))
+	for k, sn := range rt.SinkNode {
+		sinks[k] = rt.Tile[sn]
+	}
+	nt, err := rtree.FromParentMap(rt.Tile[0], parent, sinks)
+	if err != nil {
+		return nil, err
+	}
+	return nt.Prune(), nil
+}
+
+// addDemand adjusts p(v) on every tile of a route.
+func (s *state) addDemand(rt *rtree.Tree, d float64) {
+	for _, t := range rt.Tile {
+		s.g.AddDemand(s.g.TileIndex(t), d)
+	}
+}
+
+// refreshDelays recomputes the per-net maximum sink delay.
+func (s *state) refreshDelays() {
+	for i, rt := range s.routes {
+		var bufs []bufferdp.Buffer
+		if s.hasAsg[i] {
+			bufs = s.asg[i].Buffers
+		}
+		ds, err := s.eval.SinkDelays(rt, bufs)
+		if err != nil {
+			s.delays[i] = 0
+			continue
+		}
+		m := 0.0
+		for _, d := range ds {
+			if d > m {
+				m = d
+			}
+		}
+		s.delays[i] = m
+	}
+}
+
+// orderByDelay returns net indices sorted by current delay.
+func (s *state) orderByDelay(descending bool) []int {
+	order := make([]int, len(s.c.Nets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if descending {
+			return s.delays[order[a]] > s.delays[order[b]]
+		}
+		return s.delays[order[a]] < s.delays[order[b]]
+	})
+	return order
+}
+
+// snapshot gathers the Table II statistics for the current state.
+func (s *state) snapshot(stage int) StageStats {
+	ws := s.g.WireCongestion()
+	bs := s.g.BufferDensity()
+	st := StageStats{
+		Stage:     stage,
+		WireMax:   ws.Max,
+		WireAvg:   ws.Avg,
+		Overflows: ws.Overflow,
+		BufMax:    bs.Max,
+		BufAvg:    bs.Avg,
+		Buffers:   bs.Buffers,
+	}
+	var dst delay.Stats
+	wireTiles := 0
+	for i, rt := range s.routes {
+		wireTiles += rt.NumEdges()
+		var bufs []bufferdp.Buffer
+		if s.hasAsg[i] {
+			bufs = s.asg[i].Buffers
+			if !s.asg[i].Feasible() {
+				st.Fails++
+			}
+		} else if rt.NumEdges() > s.c.Nets[i].L {
+			// Before buffering, a net fails whenever its driver would have
+			// to drive more than L tile units on its own.
+			st.Fails++
+		}
+		if ds, err := s.eval.SinkDelays(rt, bufs); err == nil {
+			dst.Add(ds)
+		}
+	}
+	st.WirelenMm = float64(wireTiles) * s.c.TileUm / 1000
+	st.MaxDelayPs = dst.MaxPs()
+	st.AvgDelayPs = dst.AvgPs()
+	return st
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	c := smallCircuit(t, 21, 15, 10, 10, 2, 3)
+	res, err := Run(c, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := res.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Circuit != c.Name || rep.Nets != len(c.Nets) {
+		t.Error("header wrong")
+	}
+	if len(rep.Stages) != len(res.Stages) {
+		t.Fatalf("stage count %d", len(rep.Stages))
+	}
+	if len(rep.PerNet) != len(c.Nets) {
+		t.Fatalf("per-net count %d", len(rep.PerNet))
+	}
+	// Per-net buffers sum to the final stage count.
+	sum := 0
+	feasibleFails := 0
+	for _, nr := range rep.PerNet {
+		sum += nr.Buffers
+		if !nr.Feasible {
+			feasibleFails++
+		}
+		if nr.Feasible != (nr.Violations == 0) {
+			t.Error("feasibility and violations disagree")
+		}
+		if nr.RouteTiles < 1 {
+			t.Error("route tiles missing")
+		}
+	}
+	final := rep.Stages[len(rep.Stages)-1]
+	if sum != final.Buffers {
+		t.Errorf("per-net buffers %d != stage buffers %d", sum, final.Buffers)
+	}
+	if feasibleFails != final.Fails {
+		t.Errorf("per-net fails %d != stage fails %d", feasibleFails, final.Fails)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Circuit != rep.Circuit || len(got.PerNet) != len(rep.PerNet) {
+		t.Error("round trip lost data")
+	}
+	if got.Stages[0].CPUSeconds < 0 {
+		t.Error("negative CPU")
+	}
+}
+
+func TestReadReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadReport(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// mkTree builds a route tree from a parent map.
+func mkTree(t *testing.T, src geom.Pt, parent map[geom.Pt]geom.Pt, sinks []geom.Pt) *rtree.Tree {
+	t.Helper()
+	rt, err := rtree.FromParentMap(src, parent, sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestSpliceStraightDetour(t *testing.T) {
+	// Chain (0,0)..(4,0); replace the whole two-path with a detour through
+	// row 1.
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x <= 4; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	rt := mkTree(t, geom.Pt{}, parent, []geom.Pt{{X: 4}})
+	paths := rt.TwoPaths()
+	if len(paths) != 1 {
+		t.Fatalf("two-paths: %v", paths)
+	}
+	newPath := []geom.Pt{
+		{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 1}, {X: 4, Y: 1}, {X: 4, Y: 0},
+	}
+	nt, err := spliceTwoPath(rt, paths[0], newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nt.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+	// 7 tiles on the detour -> 6 edges.
+	if nt.NumEdges() != 6 {
+		t.Errorf("spliced tree has %d edges, want 6", nt.NumEdges())
+	}
+	if nt.Tile[nt.SinkNode[0]] != (geom.Pt{X: 4}) {
+		t.Error("sink lost")
+	}
+	if nt.Tile[0] != (geom.Pt{}) {
+		t.Error("root moved")
+	}
+}
+
+func TestSplicePreservesSubtrees(t *testing.T) {
+	// Y: trunk (0,0)->(2,0), branches to sinks (4,0) and (2,2). Replace
+	// the trunk two-path; both branches must survive.
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x <= 4; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	parent[geom.Pt{X: 2, Y: 1}] = geom.Pt{X: 2}
+	parent[geom.Pt{X: 2, Y: 2}] = geom.Pt{X: 2, Y: 1}
+	rt := mkTree(t, geom.Pt{}, parent, []geom.Pt{{X: 4}, {X: 2, Y: 2}})
+	// The trunk two-path runs from the root to the branch node (2,0).
+	var trunk []int
+	for _, p := range rt.TwoPaths() {
+		if p[0] == 0 && rt.Tile[p[len(p)-1]] == (geom.Pt{X: 2}) {
+			trunk = p
+		}
+	}
+	if trunk == nil {
+		t.Fatal("trunk two-path not found")
+	}
+	// Detour below row 0 is impossible (y=-1 would leave a real grid, but
+	// spliceTwoPath is grid-agnostic; use row -1 to prove pure structure).
+	newPath := []geom.Pt{
+		{X: 0, Y: 0}, {X: 0, Y: -1}, {X: 1, Y: -1}, {X: 2, Y: -1}, {X: 2, Y: 0},
+	}
+	nt, err := spliceTwoPath(rt, trunk, newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nt.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(nt.SinkNode) != 2 {
+		t.Fatal("sink count changed")
+	}
+	for i, want := range []geom.Pt{{X: 4}, {X: 2, Y: 2}} {
+		if nt.Tile[nt.SinkNode[i]] != want {
+			t.Errorf("sink %d at %v, want %v", i, nt.Tile[nt.SinkNode[i]], want)
+		}
+	}
+	// The old interior (1,0) must be gone.
+	for _, tl := range nt.Tile {
+		if tl == (geom.Pt{X: 1, Y: 0}) {
+			t.Error("old interior tile survived")
+		}
+	}
+}
+
+func TestSpliceRejectsWrongEndpoints(t *testing.T) {
+	parent := map[geom.Pt]geom.Pt{{X: 1}: {}, {X: 2}: {X: 1}}
+	rt := mkTree(t, geom.Pt{}, parent, []geom.Pt{{X: 2}})
+	paths := rt.TwoPaths()
+	bad := []geom.Pt{{X: 5, Y: 5}, {X: 2, Y: 0}}
+	if _, err := spliceTwoPath(rt, paths[0], bad); err == nil {
+		t.Error("wrong head accepted")
+	}
+}
+
+func TestSpliceIdentityPath(t *testing.T) {
+	// Reconnecting with the original path must reproduce the same tree.
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x <= 3; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	rt := mkTree(t, geom.Pt{}, parent, []geom.Pt{{X: 3}})
+	paths := rt.TwoPaths()
+	same := rt.PathTiles(paths[0])
+	nt, err := spliceTwoPath(rt, paths[0], same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.NumEdges() != rt.NumEdges() {
+		t.Errorf("identity splice changed the tree: %d vs %d edges", nt.NumEdges(), rt.NumEdges())
+	}
+}
+
+func TestSpliceSelfCrossingPathDedups(t *testing.T) {
+	// A pathological reconnection that revisits a tile: the chain-anchor
+	// logic must keep the result a tree.
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x <= 2; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	rt := mkTree(t, geom.Pt{}, parent, []geom.Pt{{X: 2}})
+	paths := rt.TwoPaths()
+	// head (0,0) .. wanders, revisits (1,1) .. tail (2,0)
+	newPath := []geom.Pt{
+		{X: 0, Y: 0}, {X: 1, Y: 0 + 1}, {X: 1, Y: 2}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 0},
+	}
+	// Make it contiguous: (0,0)->(1,1) is not adjacent; fix the walk.
+	newPath = []geom.Pt{
+		{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 2}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 0},
+	}
+	nt, err := spliceTwoPath(rt, paths[0], newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nt.Validate(nil); err != nil {
+		t.Fatalf("self-crossing splice broke the tree: %v", err)
+	}
+	if nt.Tile[nt.SinkNode[0]] != (geom.Pt{X: 2}) {
+		t.Error("sink lost")
+	}
+}

@@ -1,0 +1,103 @@
+package decap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tile"
+)
+
+func TestAnalyzeAttribution(t *testing.T) {
+	c := &netlist.Circuit{
+		Name: "d", GridW: 4, GridH: 4, TileUm: 100,
+		BufferSites: make([]int, 16),
+		Blocks: []geom.Rect{
+			{Lo: geom.FPt{X: 0, Y: 0}, Hi: geom.FPt{X: 200, Y: 200}}, // tiles (0,0),(1,0),(0,1),(1,1)
+		},
+	}
+	for i := range c.BufferSites {
+		c.BufferSites[i] = 2
+	}
+	g, err := tile.New(4, 4, c.BufferSites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddBuffer(0) // inside block 0
+	g.AddBuffer(5) // inside block 0 (tile (1,1))
+	g.AddBuffer(15)
+	rep, err := Analyze(c, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSites != 32 || rep.TotalUsed != 3 {
+		t.Fatalf("totals: %d sites %d used", rep.TotalSites, rep.TotalUsed)
+	}
+	if len(rep.Regions) != 2 {
+		t.Fatalf("regions: %d", len(rep.Regions))
+	}
+	blk := rep.Regions[0]
+	if blk.Sites != 8 || blk.Used != 2 {
+		t.Errorf("block region: %d sites %d used", blk.Sites, blk.Used)
+	}
+	ch := rep.Regions[1]
+	if ch.Block != -1 || ch.Sites != 24 || ch.Used != 1 {
+		t.Errorf("channel region: %+v", ch)
+	}
+	wantDecap := float64(29) * CapPerSiteF
+	if math.Abs(rep.TotalDecapF-wantDecap) > 1e-21 {
+		t.Errorf("decap = %v, want %v", rep.TotalDecapF, wantDecap)
+	}
+	if rep.SpareAreaUm2 != 29*floorplan.BufferSiteAreaUm2 {
+		t.Errorf("spare area = %v", rep.SpareAreaUm2)
+	}
+	if blk.Unused() != 6 {
+		t.Errorf("Unused = %d", blk.Unused())
+	}
+}
+
+func TestAnalyzeMismatch(t *testing.T) {
+	c := &netlist.Circuit{Name: "d", GridW: 4, GridH: 4, TileUm: 100, BufferSites: make([]int, 16)}
+	g, _ := tile.New(3, 3, nil, 1)
+	if _, err := Analyze(c, g); err == nil {
+		t.Error("tile mismatch accepted")
+	}
+}
+
+func TestAnalyzeAfterRun(t *testing.T) {
+	spec, err := floorplan.BySuiteName("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := floorplan.Generate(spec, floorplan.Options{GridW: 10, GridH: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(c, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(c, res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalUsed != res.TotalBuffers() {
+		t.Errorf("used %d != buffers %d", rep.TotalUsed, res.TotalBuffers())
+	}
+	if rep.TotalSites != c.TotalBufferSites() {
+		t.Errorf("sites %d != circuit %d", rep.TotalSites, c.TotalBufferSites())
+	}
+	sum := 0
+	for _, r := range rep.Regions {
+		sum += r.Used
+	}
+	if sum != rep.TotalUsed {
+		t.Error("per-region used does not sum")
+	}
+	if rep.TotalDecapF <= 0 {
+		t.Error("no decap capacity reported")
+	}
+}

@@ -1,0 +1,208 @@
+// Package delay evaluates Elmore delay on buffered routed trees. The paper
+// reports maximum and average source-to-sink delay to quantify timing (no
+// timing constraints exist at the planning stage), so this evaluator is the
+// measurement instrument behind the delay columns of Tables II-V.
+//
+// Model: every route-tree edge is one tile of wire with distributed RC
+// (pi-model: the edge resistance sees half its own capacitance plus all
+// downstream capacitance). The net's driver has resistance Tech.DriverRes;
+// each sink loads its tile junction with Tech.SinkCap. Inserted buffers use
+// Tech.Buffer: input capacitance decouples everything downstream of the
+// buffer from the upstream gate, the output resistance and intrinsic delay
+// start a new stage. Trunk buffers (Branch == -1) drive the node's whole
+// junction; branch buffers drive a single child edge (Fig. 8).
+package delay
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bufferdp"
+	"repro/internal/rtree"
+	"repro/internal/tech"
+)
+
+// Evaluator computes sink delays for routed trees on a particular tiling.
+type Evaluator struct {
+	Tech tech.Tech
+	// TileUm is the tile side length in micrometers (one tree edge = one
+	// tile of wire).
+	TileUm float64
+}
+
+// NewEvaluator validates the technology and returns an evaluator.
+func NewEvaluator(t tech.Tech, tileUm float64) (Evaluator, error) {
+	if err := t.Validate(); err != nil {
+		return Evaluator{}, err
+	}
+	if tileUm <= 0 {
+		return Evaluator{}, fmt.Errorf("delay: tile size %g must be positive", tileUm)
+	}
+	return Evaluator{Tech: t, TileUm: tileUm}, nil
+}
+
+// Placed is a buffer with an explicit gate from the library, for the
+// timing-driven flows that size buffers.
+type Placed struct {
+	Buf  bufferdp.Buffer
+	Gate tech.Gate
+}
+
+// buffering is the per-tree view of an assignment.
+type buffering struct {
+	trunk  []*tech.Gate          // trunk buffer at node (nil = none)
+	branch map[[2]int]*tech.Gate // branch buffer on edge (node, child)
+}
+
+func newBuffering(rt *rtree.Tree, bufs []Placed) (buffering, error) {
+	b := buffering{
+		trunk:  make([]*tech.Gate, rt.NumNodes()),
+		branch: map[[2]int]*tech.Gate{},
+	}
+	for _, pl := range bufs {
+		bf := pl.Buf
+		g := pl.Gate
+		if bf.Node < 0 || bf.Node >= rt.NumNodes() {
+			return b, fmt.Errorf("delay: buffer node %d out of range", bf.Node)
+		}
+		if bf.Branch == -1 {
+			b.trunk[bf.Node] = &g
+			continue
+		}
+		if bf.Branch < 0 || bf.Branch >= rt.NumNodes() || rt.Parent[bf.Branch] != bf.Node {
+			return b, fmt.Errorf("delay: buffer branch %d is not a child of %d", bf.Branch, bf.Node)
+		}
+		b.branch[[2]int{bf.Node, bf.Branch}] = &g
+	}
+	return b, nil
+}
+
+// SinkDelays returns the Elmore delay in seconds from the net's driver to
+// each sink, in the order of rt.SinkNode, with every buffer using the
+// technology's single planning buffer.
+func (e Evaluator) SinkDelays(rt *rtree.Tree, bufs []bufferdp.Buffer) ([]float64, error) {
+	placed := make([]Placed, len(bufs))
+	for i, b := range bufs {
+		placed[i] = Placed{Buf: b, Gate: e.Tech.Buffer}
+	}
+	return e.SinkDelaysSized(rt, placed)
+}
+
+// SinkDelaysSized is SinkDelays with an explicit gate per buffer, for
+// timing-driven flows that choose sizes from a library.
+func (e Evaluator) SinkDelaysSized(rt *rtree.Tree, bufs []Placed) ([]float64, error) {
+	bf, err := newBuffering(rt, bufs)
+	if err != nil {
+		return nil, err
+	}
+	t := e.Tech
+	wireR := t.WireRes(e.TileUm)
+	wireC := t.WireCap(e.TileUm)
+
+	n := rt.NumNodes()
+	// junction[v]: capacitance at node v's junction (after a trunk buffer,
+	// if any) looking down.
+	junction := make([]float64, n)
+	// nodeLoad(v): capacitance the incoming wire sees at v.
+	nodeLoad := func(v int) float64 {
+		if g := bf.trunk[v]; g != nil {
+			return g.InCap
+		}
+		return junction[v]
+	}
+	for _, v := range rt.PostOrder() {
+		c := float64(rt.SinksAt(v)) * t.SinkCap
+		for _, w := range rt.Children(v) {
+			if g := bf.branch[[2]int{v, w}]; g != nil {
+				c += g.InCap
+			} else {
+				c += wireC + nodeLoad(w)
+			}
+		}
+		junction[v] = c
+	}
+
+	arrival := make([]float64, n)
+	for i := range arrival {
+		arrival[i] = math.NaN()
+	}
+
+	// descend propagates arrival times inside one gate stage starting at
+	// node v's junction with arrival time tAt.
+	var descend func(v int, tAt float64)
+	// driveJunction starts a gate (driver or buffer) with output resistance
+	// rg at node v's junction; t0 is the arrival at the gate input plus its
+	// intrinsic delay.
+	driveJunction := func(v int, rg, t0 float64) {
+		descend(v, t0+rg*junction[v])
+	}
+	// enterNode handles arrival at node w's junction entry, accounting for
+	// a trunk buffer there.
+	enterNode := func(w int, tw float64) {
+		if g := bf.trunk[w]; g != nil {
+			driveJunction(w, g.OutRes, tw+g.Intrinsic)
+		} else {
+			descend(w, tw)
+		}
+	}
+	descend = func(v int, tAt float64) {
+		arrival[v] = tAt
+		for _, w := range rt.Children(v) {
+			if g := bf.branch[[2]int{v, w}]; g != nil {
+				// Dedicated buffer at v for this branch.
+				t1 := tAt + g.Intrinsic
+				load := wireC + nodeLoad(w)
+				tw := t1 + g.OutRes*load + wireR*(wireC/2+nodeLoad(w))
+				enterNode(w, tw)
+				continue
+			}
+			tw := tAt + wireR*(wireC/2+nodeLoad(w))
+			enterNode(w, tw)
+		}
+	}
+	if g := bf.trunk[0]; g != nil {
+		// A buffer right at the source tile: the driver sees only its
+		// input capacitance.
+		t0 := t.DriverRes*g.InCap + g.Intrinsic
+		driveJunction(0, g.OutRes, t0)
+	} else {
+		driveJunction(0, t.DriverRes, 0)
+	}
+
+	out := make([]float64, len(rt.SinkNode))
+	for i, s := range rt.SinkNode {
+		out[i] = arrival[s]
+	}
+	return out, nil
+}
+
+// Stats summarizes a set of per-sink delays.
+type Stats struct {
+	Max, Sum float64
+	Count    int
+}
+
+// Add folds one net's sink delays into the stats.
+func (s *Stats) Add(delays []float64) {
+	for _, d := range delays {
+		if d > s.Max {
+			s.Max = d
+		}
+		s.Sum += d
+		s.Count++
+	}
+}
+
+// Avg returns the mean sink delay, or zero with no sinks.
+func (s Stats) Avg() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// MaxPs and AvgPs report in picoseconds, the unit of the paper's tables.
+func (s Stats) MaxPs() float64 { return s.Max * 1e12 }
+
+// AvgPs reports the mean sink delay in picoseconds.
+func (s Stats) AvgPs() float64 { return s.Avg() * 1e12 }

@@ -1,0 +1,244 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bufferdp"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/tech"
+)
+
+// toyTech uses round numbers so expected delays can be computed by hand.
+func toyTech() tech.Tech {
+	return tech.Tech{
+		WireResPerUm: 2,
+		WireCapPerUm: 3,
+		DriverRes:    5,
+		Buffer:       tech.Gate{OutRes: 7, InCap: 11, Intrinsic: 13},
+		SinkCap:      17,
+	}
+}
+
+func pathTree(n int) *rtree.Tree {
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x < n; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	t, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{{X: n - 1}})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func mustEval(t *testing.T, tt tech.Tech, tile float64) Evaluator {
+	t.Helper()
+	e, err := NewEvaluator(tt, tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(tech.Tech{}, 1); err == nil {
+		t.Error("zero tech accepted")
+	}
+	if _, err := NewEvaluator(tech.Default018(), 0); err == nil {
+		t.Error("zero tile accepted")
+	}
+}
+
+func TestHandComputedUnbuffered(t *testing.T) {
+	e := mustEval(t, toyTech(), 1)
+	rt := pathTree(3) // source, t1, t2(sink): 2 edges
+	d, err := e.SinkDelays(rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// junction(t2)=17; junction(t1)=3+17=20; junction(root)=3+20=23
+	// arrival(root)=5*23=115; t1 = 115+2*(1.5+20)=158; t2 = 158+2*(1.5+17)=195
+	if len(d) != 1 || math.Abs(d[0]-195) > 1e-9 {
+		t.Errorf("delay = %v, want 195", d)
+	}
+}
+
+func TestHandComputedTrunkBuffer(t *testing.T) {
+	e := mustEval(t, toyTech(), 1)
+	rt := pathTree(3)
+	d, err := e.SinkDelays(rt, []bufferdp.Buffer{{Node: 1, Branch: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// junction(root)=3+11=14; arrival(root)=70; wire to t1: +2*(1.5+11)=95;
+	// buffer: +13, then 7*(3+17)=140 -> 248; wire to t2: +2*(1.5+17)=285.
+	if math.Abs(d[0]-285) > 1e-9 {
+		t.Errorf("delay = %v, want 285", d[0])
+	}
+}
+
+func TestSourceTileTrunkBuffer(t *testing.T) {
+	e := mustEval(t, toyTech(), 1)
+	rt := pathTree(2)
+	d, err := e.SinkDelays(rt, []bufferdp.Buffer{{Node: 0, Branch: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// driver: 5*11 + 13 = 68; buffer drives junction(root)=3+17=20: +7*20=140
+	// -> 208; wire: +2*(1.5+17)=37 -> 245.
+	if math.Abs(d[0]-245) > 1e-9 {
+		t.Errorf("delay = %v, want 245", d[0])
+	}
+}
+
+func TestUnbufferedDelayIsSuperlinear(t *testing.T) {
+	e := mustEval(t, tech.Default018(), 600)
+	short, err := e.SinkDelays(pathTree(6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := e.SinkDelays(pathTree(11), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long[0] <= 2*short[0] {
+		t.Errorf("RC delay should grow superlinearly: 5 tiles %.3gps, 10 tiles %.3gps",
+			short[0]*1e12, long[0]*1e12)
+	}
+}
+
+func TestBuffersHelpLongLines(t *testing.T) {
+	e := mustEval(t, tech.Default018(), 600)
+	rt := pathTree(31) // 30 tiles = 18mm of wire
+	unbuf, err := e.SinkDelays(rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufs []bufferdp.Buffer
+	for v := 5; v < 31; v += 5 {
+		bufs = append(bufs, bufferdp.Buffer{Node: v, Branch: -1})
+	}
+	buf, err := e.SinkDelays(rt, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] >= unbuf[0] {
+		t.Errorf("buffering a 18mm line must reduce delay: %.3gps -> %.3gps",
+			unbuf[0]*1e12, buf[0]*1e12)
+	}
+}
+
+// yTree: source with a 1-edge branch to sink A and a long branch to sink B.
+func yTree(longLen int) *rtree.Tree {
+	parent := map[geom.Pt]geom.Pt{
+		{X: 0, Y: 1}: {X: 0, Y: 0}, // short branch (sink A)
+	}
+	for x := 1; x <= longLen; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	t, err := rtree.FromParentMap(geom.Pt{}, parent,
+		[]geom.Pt{{X: 0, Y: 1}, {X: longLen, Y: 0}})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestDecouplingShieldsShortBranch(t *testing.T) {
+	e := mustEval(t, tech.Default018(), 600)
+	rt := yTree(12)
+	// Find the long branch's first node (child of root at (1,0)).
+	longChild := -1
+	for v, tl := range rt.Tile {
+		if tl == (geom.Pt{X: 1, Y: 0}) {
+			longChild = v
+		}
+	}
+	plain, err := e.SinkDelays(rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := e.SinkDelays(rt, []bufferdp.Buffer{{Node: 0, Branch: longChild}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sink A (index 0) must get faster when the heavy branch is decoupled.
+	if dec[0] >= plain[0] {
+		t.Errorf("decoupling did not shield the short sink: %.3gps -> %.3gps",
+			plain[0]*1e12, dec[0]*1e12)
+	}
+}
+
+func TestMoreLoadMoreDelay(t *testing.T) {
+	e := mustEval(t, tech.Default018(), 600)
+	// Same route, one vs two sinks at the end tile.
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x <= 5; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	one, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{{X: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{{X: 5}, {X: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := e.SinkDelays(one, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e.SinkDelays(two, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2[0] <= d1[0] {
+		t.Error("extra sink load should increase delay")
+	}
+}
+
+func TestDelaysArePositiveAndFinite(t *testing.T) {
+	e := mustEval(t, tech.Default018(), 600)
+	rt := yTree(7)
+	d, err := e.SinkDelays(rt, []bufferdp.Buffer{{Node: 3, Branch: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d {
+		if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Errorf("sink %d delay %v", i, v)
+		}
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	e := mustEval(t, toyTech(), 1)
+	rt := pathTree(3)
+	if _, err := e.SinkDelays(rt, []bufferdp.Buffer{{Node: 99, Branch: -1}}); err == nil {
+		t.Error("out-of-range buffer node accepted")
+	}
+	if _, err := e.SinkDelays(rt, []bufferdp.Buffer{{Node: 0, Branch: 2}}); err == nil {
+		t.Error("non-child branch accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Add([]float64{1e-12, 3e-12})
+	s.Add([]float64{2e-12})
+	if s.Count != 3 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if math.Abs(s.MaxPs()-3) > 1e-9 {
+		t.Errorf("max = %v ps", s.MaxPs())
+	}
+	if math.Abs(s.AvgPs()-2) > 1e-9 {
+		t.Errorf("avg = %v ps", s.AvgPs())
+	}
+	var empty Stats
+	if empty.Avg() != 0 {
+		t.Error("empty avg should be 0")
+	}
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+func TestParamsFor(t *testing.T) {
+	p := ParamsFor("xerox")
+	if p.TargetStage1Avg != 0.16 {
+		t.Errorf("xerox target = %v", p.TargetStage1Avg)
+	}
+	p = ParamsFor("unknown")
+	if p.TargetStage1Avg != 0.25 {
+		t.Errorf("unknown circuit should use default target, got %v", p.TargetStage1Avg)
+	}
+}
+
+func TestTargetsCoverSuite(t *testing.T) {
+	for _, s := range floorplan.Suite() {
+		if _, ok := stage1AvgTargets[s.Name]; !ok {
+			t.Errorf("no calibration target for %s", s.Name)
+		}
+	}
+	if len(CBLNames)+len(RandomNames) != len(floorplan.Suite()) {
+		t.Error("name lists do not cover the suite")
+	}
+	for name := range table3Sites {
+		if _, err := floorplan.BySuiteName(name); err != nil {
+			t.Errorf("table3 references unknown circuit %s", name)
+		}
+	}
+	for name, grids := range table4Grids {
+		spec, err := floorplan.BySuiteName(name)
+		if err != nil {
+			t.Fatalf("table4 references unknown circuit %s", name)
+		}
+		for _, g := range grids {
+			// Every sweep grid preserves the chip aspect ratio.
+			if g[0]*spec.GridH != g[1]*spec.GridW {
+				t.Errorf("%s grid %v breaks aspect ratio", name, g)
+			}
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tb, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, name := range append(append([]string{}, CBLNames...), RandomNames...) {
+		if !strings.Contains(out, name) {
+			t.Errorf("table 1 missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "30x33") {
+		t.Error("table 1 missing grid column")
+	}
+}
+
+func TestRunBenchmarkSmallGrid(t *testing.T) {
+	// A full small-grid run through the harness (fast).
+	res, err := RunBenchmark("apte", floorplan.Options{GridW: 10, GridH: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 4 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	if res.Stages[3].Buffers == 0 {
+		t.Error("no buffers on coarse apte")
+	}
+}
+
+func TestRunTable5PairSmallCircuit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 5 pair in -short mode")
+	}
+	pair, err := RunTable5Pair("hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline contrast: RABID satisfies wire congestion while
+	// BBP/FR concentrates buffers (much higher MTAP).
+	if pair.Rabid.Overflows != 0 {
+		t.Errorf("RABID left %d overflows", pair.Rabid.Overflows)
+	}
+	if pair.Bbp.MTAP <= pair.RabidMT {
+		t.Errorf("BBP MTAP %.2f%% should exceed RABID %.2f%%", pair.Bbp.MTAP, pair.RabidMT)
+	}
+	if pair.Bbp.Buffers >= pair.Rabid.Buffers {
+		t.Errorf("RABID should insert more buffers (%d) than BBP (%d)",
+			pair.Rabid.Buffers, pair.Bbp.Buffers)
+	}
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+)
+
+// TestWholeSuiteConstraints runs every Table I benchmark at a coarse 10-ish
+// tiling (fast) and asserts the problem formulation's constraints on the
+// final state of each: wire capacity satisfied, buffer sites never
+// oversubscribed, all routes valid, and the accounting between graph and
+// routes exact.
+func TestWholeSuiteConstraints(t *testing.T) {
+	// Coarse grids proportional to each circuit's base aspect ratio.
+	coarse := map[string][2]int{
+		"apte": {10, 11}, "xerox": {10, 10}, "hp": {10, 10},
+		"ami33": {11, 10}, "ami49": {10, 10}, "playout": {11, 10},
+		"ac3": {10, 10}, "xc5": {10, 10}, "hc7": {10, 10}, "a9c3": {10, 10},
+	}
+	for _, spec := range floorplan.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g := coarse[spec.Name]
+			res, err := RunBenchmark(spec.Name, floorplan.Options{GridW: g[0], GridH: g[1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			final := res.Stages[len(res.Stages)-1]
+			if final.Overflows != 0 {
+				t.Errorf("%d overflows remain", final.Overflows)
+			}
+			if final.WireMax > 1+1e-9 {
+				t.Errorf("wire congestion %v > 1", final.WireMax)
+			}
+			gr := res.Graph
+			for v := 0; v < gr.NumTiles(); v++ {
+				if gr.UsedSites(v) > gr.Sites(v) {
+					t.Fatalf("tile %d oversubscribed (%d/%d)", v, gr.UsedSites(v), gr.Sites(v))
+				}
+			}
+			wires, want := 0, 0
+			for e := 0; e < gr.NumEdges(); e++ {
+				wires += gr.Usage(e)
+			}
+			used := 0
+			for v := 0; v < gr.NumTiles(); v++ {
+				used += gr.UsedSites(v)
+			}
+			for i, rt := range res.Routes {
+				want += rt.NumEdges()
+				if err := rt.Validate(gr.InGrid); err != nil {
+					t.Fatalf("net %d: %v", i, err)
+				}
+			}
+			if wires != want {
+				t.Errorf("wire accounting: %d registered vs %d route edges", wires, want)
+			}
+			if used != res.TotalBuffers() {
+				t.Errorf("buffer accounting: %d in graph vs %d assigned", used, res.TotalBuffers())
+			}
+			if final.Buffers == 0 {
+				t.Error("no buffers inserted")
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package floorplan
+
+import "testing"
+
+func TestAnnealedGeneration(t *testing.T) {
+	spec, err := BySuiteName("ami33")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Generate(spec, Options{Annealed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Blocks) != spec.Cells {
+		t.Fatalf("%d blocks", len(c.Blocks))
+	}
+	// Annealed blocks are disjoint and inside the chip.
+	for i, b := range c.Blocks {
+		if !b.Valid() || b.Area() <= 0 {
+			t.Fatalf("block %d invalid", i)
+		}
+		if b.Lo.X < -1e-6 || b.Lo.Y < -1e-6 || b.Hi.X > c.ChipW()+1e-6 || b.Hi.Y > c.ChipH()+1e-6 {
+			t.Fatalf("block %d outside chip: %+v", i, b)
+		}
+		for j := i + 1; j < len(c.Blocks); j++ {
+			if b.Intersects(c.Blocks[j]) {
+				t.Fatalf("blocks %d,%d overlap", i, j)
+			}
+		}
+	}
+	if len(c.Nets) != spec.Nets || c.TotalSinks() != spec.Sinks {
+		t.Error("annealed generation changed net statistics")
+	}
+	// Deterministic.
+	c2, err := Generate(spec, Options{Annealed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Blocks {
+		if c.Blocks[i] != c2.Blocks[i] {
+			t.Fatal("annealed generation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package flow implements the paper's intended use of RABID: early,
+// accurate floorplan evaluation. Section II argues that raw post-placement
+// timing cannot rank floorplans ("the slacks for both are so absurdly far
+// from their targets"); instead, "buffer and wire planning must be
+// efficiently performed first, then the design can be timed to provide a
+// meaningful worst slack... We envision performing buffer and wire
+// planning each time the designer wants to evaluate a floorplan."
+//
+// EvaluateCandidates runs that loop: several floorplan candidates of the
+// same netlist (different annealing/placement seeds), each planned by
+// RABID and scored on the planned metrics — congestion feasibility first,
+// then length-rule failures, then delay.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/netlist"
+)
+
+// Candidate is one evaluated floorplan.
+type Candidate struct {
+	// Seed distinguishes the floorplan variant.
+	Seed int64
+	// Circuit is the generated instance (nil until evaluated).
+	Circuit *netlist.Circuit
+	// Result is the completed RABID run.
+	Result *core.Result
+	// Score is the composite ranking value (lower is better).
+	Score float64
+}
+
+// Final returns the last stage's statistics.
+func (c *Candidate) Final() core.StageStats {
+	return c.Result.Stages[len(c.Result.Stages)-1]
+}
+
+// Options configures the evaluation loop.
+type Options struct {
+	// Seeds lists the floorplan variants to compare (at least one).
+	Seeds []int64
+	// Annealed selects simulated-annealing block placement for the
+	// candidates (slower, closer to the paper's setup).
+	Annealed bool
+	// GenOpt carries additional generation overrides (grid, sites); its
+	// Seed and Annealed fields are controlled per candidate.
+	GenOpt floorplan.Options
+	// Params for the RABID runs; zero MaxRipupPasses selects defaults.
+	Params core.Params
+	// FailWeightPs and OverflowWeightPs convert a length-rule failure and
+	// a unit of wire overflow into picoseconds of score penalty (defaults
+	// 1000 and 5000): infeasibility must dominate raw delay.
+	FailWeightPs, OverflowWeightPs float64
+}
+
+// Score computes the composite ranking value for final-stage stats.
+func Score(s core.StageStats, failWeightPs, overflowWeightPs float64) float64 {
+	if failWeightPs == 0 {
+		failWeightPs = 1000
+	}
+	if overflowWeightPs == 0 {
+		overflowWeightPs = 5000
+	}
+	return s.MaxDelayPs + failWeightPs*float64(s.Fails) + overflowWeightPs*float64(s.Overflows)
+}
+
+// EvaluateCandidates generates, plans, and ranks the candidates, returning
+// them best first.
+func EvaluateCandidates(spec floorplan.Spec, opt Options) ([]*Candidate, error) {
+	if len(opt.Seeds) == 0 {
+		return nil, fmt.Errorf("flow: no candidate seeds")
+	}
+	if opt.Params.MaxRipupPasses == 0 {
+		opt.Params = core.DefaultParams()
+	}
+	var out []*Candidate
+	for _, seed := range opt.Seeds {
+		gen := opt.GenOpt
+		gen.Seed = seed
+		gen.Annealed = opt.Annealed
+		c, err := floorplan.Generate(spec, gen)
+		if err != nil {
+			return nil, fmt.Errorf("flow: seed %d: %w", seed, err)
+		}
+		res, err := core.Run(c, opt.Params)
+		if err != nil {
+			return nil, fmt.Errorf("flow: seed %d: %w", seed, err)
+		}
+		cand := &Candidate{Seed: seed, Circuit: c, Result: res}
+		cand.Score = Score(cand.Final(), opt.FailWeightPs, opt.OverflowWeightPs)
+		out = append(out, cand)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score < out[b].Score })
+	return out, nil
+}

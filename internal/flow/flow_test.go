@@ -1,0 +1,70 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+)
+
+func spec10(t *testing.T) floorplan.Spec {
+	t.Helper()
+	s, err := floorplan.BySuiteName("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEvaluateCandidatesRanks(t *testing.T) {
+	spec := spec10(t)
+	cands, err := EvaluateCandidates(spec, Options{
+		Seeds:  []int64{11, 22, 33},
+		GenOpt: floorplan.Options{GridW: 10, GridH: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Score > cands[i].Score {
+			t.Fatal("candidates not sorted by score")
+		}
+	}
+	for _, c := range cands {
+		if c.Circuit == nil || c.Result == nil {
+			t.Fatal("candidate missing artifacts")
+		}
+		if c.Final().Stage != 4 {
+			t.Fatal("final stage missing")
+		}
+	}
+	// Scores differ across placements (the whole point of the loop).
+	if cands[0].Score == cands[len(cands)-1].Score {
+		t.Error("all candidates scored identically; evaluation has no discrimination")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	spec := spec10(t)
+	if _, err := EvaluateCandidates(spec, Options{}); err == nil {
+		t.Error("no seeds accepted")
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	base := core.StageStats{MaxDelayPs: 2000}
+	fails := core.StageStats{MaxDelayPs: 1000, Fails: 3}
+	overflow := core.StageStats{MaxDelayPs: 1000, Overflows: 1}
+	if Score(fails, 0, 0) <= Score(base, 0, 0) {
+		t.Error("failures must outweigh a 1ns delay edge")
+	}
+	if Score(overflow, 0, 0) <= Score(base, 0, 0) {
+		t.Error("overflow must outweigh a 1ns delay edge")
+	}
+	if Score(base, 0, 0) != 2000 {
+		t.Errorf("clean score = %v", Score(base, 0, 0))
+	}
+}

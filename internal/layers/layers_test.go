@@ -1,0 +1,188 @@
+package layers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+func circuit(seed int64, nets, grid int) *netlist.Circuit {
+	r := rand.New(rand.NewSource(seed))
+	tileUm := 600.0
+	c := &netlist.Circuit{
+		Name: "ly", GridW: grid, GridH: grid, TileUm: tileUm,
+		BufferSites: make([]int, grid*grid),
+	}
+	for i := range c.BufferSites {
+		c.BufferSites[i] = 3
+	}
+	pin := func() netlist.Pin {
+		p := geom.FPt{X: r.Float64() * c.ChipW(), Y: r.Float64() * c.ChipH()}
+		if p.X >= c.ChipW() {
+			p.X = c.ChipW() - 1
+		}
+		if p.Y >= c.ChipH() {
+			p.Y = c.ChipH() - 1
+		}
+		return netlist.Pin{Tile: c.TileOf(p), Pos: p}
+	}
+	for i := 0; i < nets; i++ {
+		n := &netlist.Net{ID: i, Name: "n", Source: pin(), L: 4}
+		for s := 0; s <= r.Intn(2); s++ {
+			n.Sinks = append(n.Sinks, pin())
+		}
+		c.Nets = append(c.Nets, n)
+	}
+	return c
+}
+
+func TestLayerTechScaling(t *testing.T) {
+	base := tech.Default018()
+	thick := DefaultStack018()[1]
+	tt := thick.Tech(base)
+	if tt.WireResPerUm >= base.WireResPerUm {
+		t.Error("thick metal should have lower resistance")
+	}
+	if tt.WireCapPerUm <= base.WireCapPerUm {
+		t.Error("thick metal should have slightly higher capacitance")
+	}
+	if tt.DriverRes != base.DriverRes {
+		t.Error("layer must not change gates")
+	}
+}
+
+func TestPromoteBudgetAndOrdering(t *testing.T) {
+	c := circuit(1, 40, 16)
+	base := tech.Default018()
+	asg, err := Promote(c, base, DefaultStack018(), 0.25, 400e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := 0
+	for _, l := range asg.LayerOf {
+		if l == 1 {
+			promoted++
+		}
+	}
+	if promoted != 10 {
+		t.Errorf("promoted %d nets, want 10 (25%% of 40)", promoted)
+	}
+	// Thick-metal L must exceed thin-metal L (the footnote's point).
+	var thinL, thickL int
+	for i := range c.Nets {
+		if asg.LayerOf[i] == 0 {
+			thinL = asg.LOf[i]
+		} else {
+			thickL = asg.LOf[i]
+		}
+	}
+	if thickL <= thinL {
+		t.Errorf("thick L %d <= thin L %d", thickL, thinL)
+	}
+	// The promoted nets are the longest ones: every promoted net's HPWL
+	// must be >= every unpromoted net's HPWL.
+	hpwl := func(n *netlist.Net) int {
+		minX, maxX := n.Source.Tile.X, n.Source.Tile.X
+		minY, maxY := n.Source.Tile.Y, n.Source.Tile.Y
+		for _, s := range n.Sinks {
+			minX, maxX = min(minX, s.Tile.X), max(maxX, s.Tile.X)
+			minY, maxY = min(minY, s.Tile.Y), max(maxY, s.Tile.Y)
+		}
+		return maxX - minX + maxY - minY
+	}
+	minPromoted, maxPlain := 1<<30, -1
+	for i, n := range c.Nets {
+		h := hpwl(n)
+		if asg.LayerOf[i] == 1 && h < minPromoted {
+			minPromoted = h
+		}
+		if asg.LayerOf[i] == 0 && h > maxPlain {
+			maxPlain = h
+		}
+	}
+	if minPromoted < maxPlain {
+		t.Errorf("promotion not by length: promoted min %d < plain max %d", minPromoted, maxPlain)
+	}
+}
+
+func TestPromoteValidation(t *testing.T) {
+	c := circuit(2, 5, 10)
+	base := tech.Default018()
+	if _, err := Promote(c, base, nil, 0.5, 400e-12); err == nil {
+		t.Error("empty stack accepted")
+	}
+	if _, err := Promote(c, base, DefaultStack018(), 1.5, 400e-12); err == nil {
+		t.Error("budget > 1 accepted")
+	}
+	if _, err := Promote(c, base, DefaultStack018(), 0.5, 0); err == nil {
+		t.Error("zero slew target accepted")
+	}
+	// Reversed stack (thick first) violates the ordering check.
+	rev := []Layer{DefaultStack018()[1], DefaultStack018()[0]}
+	if _, err := Promote(c, base, rev, 0.5, 400e-12); err == nil {
+		t.Error("reversed stack accepted")
+	}
+}
+
+func TestApplySetsPerNetL(t *testing.T) {
+	c := circuit(3, 20, 14)
+	base := tech.Default018()
+	asg, err := Promote(c, base, DefaultStack018(), 0.3, 400e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := asg.Apply(c)
+	for i, n := range cc.Nets {
+		if n.L != asg.LOf[i] {
+			t.Fatalf("net %d L=%d, want %d", i, n.L, asg.LOf[i])
+		}
+	}
+	// Original untouched.
+	for _, n := range c.Nets {
+		if n.L != 4 {
+			t.Fatal("Apply mutated the original circuit")
+		}
+	}
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayeredRunUsesFewerBuffersOnPromotedNets(t *testing.T) {
+	c := circuit(4, 30, 16)
+	base := tech.Default018()
+	// Everything on thin metal vs promoting the longest third.
+	thinOnly, err := Promote(c, base, DefaultStack018()[:1], 0, 400e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layered, err := Promote(c, base, DefaultStack018(), 0.33, 400e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	resThin, err := core.Run(thinOnly.Apply(c), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLayered, err := core.Run(layered.Apply(c), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLayered.TotalBuffers() >= resThin.TotalBuffers() {
+		t.Errorf("layer promotion did not save buffers: %d vs %d",
+			resLayered.TotalBuffers(), resThin.TotalBuffers())
+	}
+	// Layer-aware delay evaluation works and is finite.
+	maxPs, avgPs, err := layered.Evaluate(resLayered, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(maxPs > 0 && avgPs > 0 && maxPs >= avgPs) {
+		t.Errorf("evaluate: max %v avg %v", maxPs, avgPs)
+	}
+}

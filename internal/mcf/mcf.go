@@ -1,0 +1,209 @@
+// Package mcf implements a multicommodity-flow-based global router in the
+// style of Albrecht (ISPD 2000), the alternative the paper names for its
+// Stages 1-2: "one could alternatively begin with the solution from any
+// global router, e.g., the multicommodity flow-based approach of [1]".
+//
+// The algorithm is the Garg–Könemann/Fleischer fractional approximation of
+// maximum concurrent flow, specialized to min-max edge congestion: every
+// phase routes each net once along a (near-)minimum-length Steiner tree
+// under exponential edge lengths, then inflates the lengths of the used
+// edges proportionally to how much capacity the tree consumed. The
+// per-phase trees form a fractional routing; randomized rounding (seeded)
+// selects one tree per net, and the fractional congestion provides a lower
+// bound certificate for the rounded solution's quality.
+package mcf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/rtree"
+	"repro/internal/tile"
+)
+
+// Options tunes the approximation.
+type Options struct {
+	// Phases is the number of routing phases (default 12). More phases
+	// tighten the fractional solution at linear cost.
+	Phases int
+	// Epsilon is the exponential length step (default 0.3).
+	Epsilon float64
+	// Seed drives the randomized rounding.
+	Seed int64
+	// RouteOpt configures the underlying Steiner router; its congestion
+	// cost is replaced by the MCF edge lengths.
+	RouteOpt route.Options
+}
+
+// Result is a complete MCF routing.
+type Result struct {
+	// Routes holds the selected tree per net.
+	Routes []*rtree.Tree
+	// FractionalMaxCongestion is the max edge congestion of the averaged
+	// per-phase routing — a lower-bound certificate: no integral selection
+	// of the generated trees beats it by more than the rounding gap.
+	FractionalMaxCongestion float64
+	// RoundedMaxCongestion is the max congestion of the selected routes.
+	RoundedMaxCongestion float64
+}
+
+// Route computes routes for all nets on the graph. Wire usage present on g
+// is ignored and not modified; callers register the returned routes
+// themselves (route.AddUsage).
+func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
+	if opt.Phases == 0 {
+		opt.Phases = 12
+	}
+	if opt.Phases < 1 {
+		return nil, fmt.Errorf("mcf: phases %d < 1", opt.Phases)
+	}
+	if opt.Epsilon == 0 {
+		opt.Epsilon = 0.3
+	}
+	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
+		return nil, fmt.Errorf("mcf: epsilon %g outside (0,1)", opt.Epsilon)
+	}
+	if opt.RouteOpt.OverflowPenalty == 0 {
+		opt.RouteOpt = route.DefaultOptions()
+	}
+	// Pure shortest trees under the MCF lengths: no PD discounting, which
+	// would distort the length system.
+	opt.RouteOpt.Alpha = 1
+
+	ne := g.NumEdges()
+	length := make([]float64, ne)
+	for e := range length {
+		length[e] = 1 / float64(g.Capacity(e))
+	}
+	opt.RouteOpt.Weight = func(e int) float64 { return length[e] }
+
+	// Per-net tree pool with selection counts.
+	type pooled struct {
+		tree  *rtree.Tree
+		count int
+	}
+	pools := make([][]pooled, len(nets))
+	// Fractional per-edge usage accumulated over phases.
+	fracUse := make([]float64, ne)
+
+	addTree := func(i int, rt *rtree.Tree) {
+		key := treeKey(rt)
+		for k := range pools[i] {
+			if treeKey(pools[i][k].tree) == key {
+				pools[i][k].count++
+				return
+			}
+		}
+		pools[i] = append(pools[i], pooled{tree: rt, count: 1})
+	}
+
+	for phase := 0; phase < opt.Phases; phase++ {
+		for i, n := range nets {
+			rt, err := route.Reroute(g, n, opt.RouteOpt)
+			if err != nil {
+				return nil, fmt.Errorf("mcf: phase %d: %w", phase, err)
+			}
+			addTree(i, rt)
+			for _, pq := range rt.EdgePairs() {
+				e, _ := g.EdgeBetween(pq[0], pq[1])
+				fracUse[e]++
+				// Exponential length update: inflate by the fraction of
+				// the edge's capacity this unit of flow consumes.
+				length[e] *= 1 + opt.Epsilon/float64(g.Capacity(e))
+			}
+		}
+	}
+
+	res := &Result{Routes: make([]*rtree.Tree, len(nets))}
+	for e := 0; e < ne; e++ {
+		c := fracUse[e] / float64(opt.Phases) / float64(g.Capacity(e))
+		if c > res.FractionalMaxCongestion {
+			res.FractionalMaxCongestion = c
+		}
+	}
+	// Randomized rounding: pick each net's tree with probability
+	// proportional to its phase count.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	use := make([]int, ne)
+	addUse := func(rt *rtree.Tree, delta int) {
+		for _, pq := range rt.EdgePairs() {
+			e, _ := g.EdgeBetween(pq[0], pq[1])
+			use[e] += delta
+		}
+	}
+	for i := range nets {
+		total := 0
+		for _, p := range pools[i] {
+			total += p.count
+		}
+		pick := rng.Intn(total)
+		for _, p := range pools[i] {
+			pick -= p.count
+			if pick < 0 {
+				res.Routes[i] = p.tree
+				break
+			}
+		}
+		addUse(res.Routes[i], 1)
+	}
+	// Repair (Albrecht's rerouting step): a few greedy passes re-choosing
+	// each net's pooled tree to minimize overflow, then congestion.
+	score := func() (int, float64) {
+		over := 0
+		worst := 0.0
+		for e := 0; e < ne; e++ {
+			if d := use[e] - g.Capacity(e); d > 0 {
+				over += d
+			}
+			if c := float64(use[e]) / float64(g.Capacity(e)); c > worst {
+				worst = c
+			}
+		}
+		return over, worst
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := range nets {
+			bestTree := res.Routes[i]
+			addUse(bestTree, -1)
+			bestOver, bestCong := -1, 0.0
+			for _, p := range pools[i] {
+				addUse(p.tree, 1)
+				over, cong := score()
+				addUse(p.tree, -1)
+				if bestOver < 0 || over < bestOver || (over == bestOver && cong < bestCong) {
+					bestOver, bestCong, bestTree = over, cong, p.tree
+				}
+			}
+			res.Routes[i] = bestTree
+			addUse(bestTree, 1)
+		}
+	}
+	_, res.RoundedMaxCongestion = score()
+	return res, nil
+}
+
+// treeKey builds a canonical identity for a routed tree (sorted edge set).
+func treeKey(rt *rtree.Tree) string {
+	pairs := rt.EdgePairs()
+	keys := make([]uint64, len(pairs))
+	for i, pq := range pairs {
+		a := uint64(uint16(pq[0].X))<<48 | uint64(uint16(pq[0].Y))<<32 |
+			uint64(uint16(pq[1].X))<<16 | uint64(uint16(pq[1].Y))
+		b := uint64(uint16(pq[1].X))<<48 | uint64(uint16(pq[1].Y))<<32 |
+			uint64(uint16(pq[0].X))<<16 | uint64(uint16(pq[0].Y))
+		if b < a {
+			a = b
+		}
+		keys[i] = a
+	}
+	// Order-independent fold (commutative hash) plus length; collisions
+	// only cause a pool entry to be reused, never a wrong route.
+	var sum, xor uint64
+	for _, k := range keys {
+		sum += k * 0x9e3779b97f4a7c15
+		xor ^= k
+	}
+	return fmt.Sprintf("%d:%x:%x", len(keys), sum, xor)
+}

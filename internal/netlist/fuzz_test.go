@@ -1,0 +1,48 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzReadJSON ensures arbitrary input never panics the loader and that
+// anything it accepts round-trips.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	c := &Circuit{
+		Name: "seed", GridW: 2, GridH: 2, TileUm: 100,
+		BufferSites: []int{1, 1, 1, 1},
+		Nets: []*Net{{
+			ID: 0, Name: "n", L: 2,
+			Source: Pin{Pos: geom.FPt{X: 50, Y: 50}, Tile: geom.Pt{X: 0, Y: 0}},
+			Sinks:  []Pin{{Pos: geom.FPt{X: 150, Y: 150}, Tile: geom.Pt{X: 1, Y: 1}}},
+		}},
+	}
+	if err := c.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x"}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, s string) {
+		got, err := ReadJSON(strings.NewReader(s))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := got.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted circuit fails to serialize: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("accepted circuit fails to reload: %v", err)
+		}
+		if again.NumTiles() != got.NumTiles() || len(again.Nets) != len(got.Nets) {
+			t.Fatal("round trip changed the circuit")
+		}
+	})
+}

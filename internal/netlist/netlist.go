@@ -1,0 +1,212 @@
+// Package netlist defines the problem input of the buffer/wire planning
+// formulation: pins, multi-sink global nets with per-net tile length
+// constraints L_i, and circuits that bundle the nets with the chip tiling
+// and the per-tile buffer-site budget B(v).
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// Pin is a net terminal: a chip-coordinate location and the tile containing
+// it. Tile must be consistent with Pos for the owning circuit's tiling;
+// Circuit.Validate checks this.
+type Pin struct {
+	Tile geom.Pt  `json:"tile"`
+	Pos  geom.FPt `json:"pos"`
+}
+
+// Net is a global signal net with one source (driver) and one or more sinks.
+// L is the net's tile length constraint: the maximum total tile units of
+// interconnect that the driver or any buffer inserted on the net may drive.
+type Net struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name"`
+	Source Pin    `json:"source"`
+	Sinks  []Pin  `json:"sinks"`
+	L      int    `json:"l"`
+}
+
+// NumPins returns the total terminal count (source + sinks).
+func (n *Net) NumPins() int { return 1 + len(n.Sinks) }
+
+// Tiles returns the distinct tiles occupied by the net's pins, source first.
+func (n *Net) Tiles() []geom.Pt {
+	seen := map[geom.Pt]bool{n.Source.Tile: true}
+	out := []geom.Pt{n.Source.Tile}
+	for _, s := range n.Sinks {
+		if !seen[s.Tile] {
+			seen[s.Tile] = true
+			out = append(out, s.Tile)
+		}
+	}
+	return out
+}
+
+// Circuit is a complete planning instance: the tiling of the chip, the
+// global nets, the per-tile buffer-site counts, and (for baselines and
+// reporting) the macro-block outlines the floorplan was built from.
+type Circuit struct {
+	Name  string `json:"name"`
+	GridW int    `json:"grid_w"` // tiles in x
+	GridH int    `json:"grid_h"` // tiles in y
+	// TileUm is the side length of a (square) tile in micrometers.
+	TileUm float64 `json:"tile_um"`
+	Nets   []*Net  `json:"nets"`
+	// BufferSites holds B(v) per tile in row-major order (y*GridW + x).
+	BufferSites []int `json:"buffer_sites"`
+	// Blocks are the floorplan macro outlines in chip coordinates.
+	Blocks []geom.Rect `json:"blocks"`
+	// NumPads records how many terminals are chip I/O pads (statistics only).
+	NumPads int `json:"num_pads"`
+}
+
+// NumTiles returns the number of tiles in the grid.
+func (c *Circuit) NumTiles() int { return c.GridW * c.GridH }
+
+// TileIndex maps a tile coordinate to its row-major index. It panics on
+// out-of-grid coordinates; use InGrid to test first.
+func (c *Circuit) TileIndex(p geom.Pt) int {
+	if !c.InGrid(p) {
+		panic(fmt.Sprintf("netlist: tile %v outside %dx%d grid", p, c.GridW, c.GridH))
+	}
+	return p.Y*c.GridW + p.X
+}
+
+// InGrid reports whether the tile coordinate lies inside the grid.
+func (c *Circuit) InGrid(p geom.Pt) bool {
+	return p.X >= 0 && p.X < c.GridW && p.Y >= 0 && p.Y < c.GridH
+}
+
+// TileOf returns the tile containing a chip-coordinate point, clamped to the
+// grid so boundary pads at the exact chip edge land in the outermost tile.
+func (c *Circuit) TileOf(p geom.FPt) geom.Pt {
+	tx := geom.Clamp(int(p.X/c.TileUm), 0, c.GridW-1)
+	ty := geom.Clamp(int(p.Y/c.TileUm), 0, c.GridH-1)
+	return geom.Pt{X: tx, Y: ty}
+}
+
+// ChipW returns the chip width in micrometers.
+func (c *Circuit) ChipW() float64 { return float64(c.GridW) * c.TileUm }
+
+// ChipH returns the chip height in micrometers.
+func (c *Circuit) ChipH() float64 { return float64(c.GridH) * c.TileUm }
+
+// TotalSinks returns the sink count over all nets.
+func (c *Circuit) TotalSinks() int {
+	n := 0
+	for _, net := range c.Nets {
+		n += len(net.Sinks)
+	}
+	return n
+}
+
+// TotalBufferSites returns the sum of B(v) over all tiles.
+func (c *Circuit) TotalBufferSites() int {
+	n := 0
+	for _, b := range c.BufferSites {
+		n += b
+	}
+	return n
+}
+
+// Validate checks structural consistency: positive grid and tile size, the
+// buffer-site slice length, pin/tile agreement, per-net constraints, and
+// unique net IDs. It returns the first problem found.
+func (c *Circuit) Validate() error {
+	if c.GridW <= 0 || c.GridH <= 0 {
+		return fmt.Errorf("netlist: %s: grid %dx%d must be positive", c.Name, c.GridW, c.GridH)
+	}
+	if c.TileUm <= 0 {
+		return fmt.Errorf("netlist: %s: tile size %g must be positive", c.Name, c.TileUm)
+	}
+	if len(c.BufferSites) != c.NumTiles() {
+		return fmt.Errorf("netlist: %s: %d buffer-site entries for %d tiles",
+			c.Name, len(c.BufferSites), c.NumTiles())
+	}
+	for i, b := range c.BufferSites {
+		if b < 0 {
+			return fmt.Errorf("netlist: %s: tile %d has negative buffer sites %d", c.Name, i, b)
+		}
+	}
+	ids := make(map[int]bool, len(c.Nets))
+	for _, n := range c.Nets {
+		if ids[n.ID] {
+			return fmt.Errorf("netlist: %s: duplicate net id %d", c.Name, n.ID)
+		}
+		ids[n.ID] = true
+		if len(n.Sinks) == 0 {
+			return fmt.Errorf("netlist: %s: net %d has no sinks", c.Name, n.ID)
+		}
+		if n.L < 1 {
+			return fmt.Errorf("netlist: %s: net %d has length constraint %d < 1", c.Name, n.ID, n.L)
+		}
+		for _, p := range append([]Pin{n.Source}, n.Sinks...) {
+			if !c.InGrid(p.Tile) {
+				return fmt.Errorf("netlist: %s: net %d pin tile %v outside grid", c.Name, n.ID, p.Tile)
+			}
+			if got := c.TileOf(p.Pos); got != p.Tile {
+				return fmt.Errorf("netlist: %s: net %d pin at %v maps to tile %v, recorded %v",
+					c.Name, n.ID, p.Pos, got, p.Tile)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the circuit with indentation.
+func (c *Circuit) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadJSON deserializes and validates a circuit.
+func ReadJSON(r io.Reader) (*Circuit, error) {
+	var c Circuit
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("netlist: decode: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// DecomposeTwoPin returns a copy of the circuit in which every multi-sink
+// net is split into one two-pin net per sink (same source), the construction
+// the paper uses when comparing against BBP/FR. Net IDs are renumbered
+// densely; names carry a "/k" suffix for split nets.
+func (c *Circuit) DecomposeTwoPin() *Circuit {
+	out := &Circuit{
+		Name:        c.Name,
+		GridW:       c.GridW,
+		GridH:       c.GridH,
+		TileUm:      c.TileUm,
+		BufferSites: append([]int(nil), c.BufferSites...),
+		Blocks:      append([]geom.Rect(nil), c.Blocks...),
+		NumPads:     c.NumPads,
+	}
+	id := 0
+	for _, n := range c.Nets {
+		for k, s := range n.Sinks {
+			name := n.Name
+			if len(n.Sinks) > 1 {
+				name = fmt.Sprintf("%s/%d", n.Name, k)
+			}
+			out.Nets = append(out.Nets, &Net{
+				ID:     id,
+				Name:   name,
+				Source: n.Source,
+				Sinks:  []Pin{s},
+				L:      n.L,
+			})
+			id++
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// small returns a valid 4x3 two-net circuit used across tests.
+func small() *Circuit {
+	c := &Circuit{
+		Name:        "tiny",
+		GridW:       4,
+		GridH:       3,
+		TileUm:      100,
+		BufferSites: make([]int, 12),
+		NumPads:     1,
+	}
+	for i := range c.BufferSites {
+		c.BufferSites[i] = 2
+	}
+	pin := func(x, y int) Pin {
+		pos := geom.FPt{X: (float64(x) + 0.5) * 100, Y: (float64(y) + 0.5) * 100}
+		return Pin{Tile: geom.Pt{X: x, Y: y}, Pos: pos}
+	}
+	c.Nets = []*Net{
+		{ID: 0, Name: "n0", Source: pin(0, 0), Sinks: []Pin{pin(3, 2)}, L: 3},
+		{ID: 1, Name: "n1", Source: pin(1, 1), Sinks: []Pin{pin(3, 0), pin(0, 2)}, L: 3},
+	}
+	return c
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Circuit)
+	}{
+		{"zero grid", func(c *Circuit) { c.GridW = 0 }},
+		{"bad tile size", func(c *Circuit) { c.TileUm = 0 }},
+		{"site slice length", func(c *Circuit) { c.BufferSites = c.BufferSites[:5] }},
+		{"negative sites", func(c *Circuit) { c.BufferSites[0] = -1 }},
+		{"dup net id", func(c *Circuit) { c.Nets[1].ID = 0 }},
+		{"no sinks", func(c *Circuit) { c.Nets[0].Sinks = nil }},
+		{"bad L", func(c *Circuit) { c.Nets[0].L = 0 }},
+		{"pin off grid", func(c *Circuit) { c.Nets[0].Source.Tile = geom.Pt{X: 9, Y: 9} }},
+		{"pin/tile mismatch", func(c *Circuit) { c.Nets[0].Source.Pos = geom.FPt{X: 350, Y: 250} }},
+	}
+	for _, tc := range cases {
+		c := small()
+		tc.mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestTileIndexAndInGrid(t *testing.T) {
+	c := small()
+	if c.NumTiles() != 12 {
+		t.Fatalf("NumTiles = %d", c.NumTiles())
+	}
+	if got := c.TileIndex(geom.Pt{X: 3, Y: 2}); got != 11 {
+		t.Errorf("TileIndex(3,2) = %d, want 11", got)
+	}
+	if got := c.TileIndex(geom.Pt{X: 1, Y: 1}); got != 5 {
+		t.Errorf("TileIndex(1,1) = %d, want 5", got)
+	}
+	if c.InGrid(geom.Pt{X: 4, Y: 0}) || c.InGrid(geom.Pt{X: -1, Y: 0}) {
+		t.Error("InGrid accepted out-of-range point")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TileIndex should panic out of grid")
+		}
+	}()
+	c.TileIndex(geom.Pt{X: 4, Y: 0})
+}
+
+func TestTileOfClampsBoundary(t *testing.T) {
+	c := small()
+	if got := c.TileOf(geom.FPt{X: 400, Y: 300}); got != (geom.Pt{X: 3, Y: 2}) {
+		t.Errorf("chip corner maps to %v, want (3,2)", got)
+	}
+	if got := c.TileOf(geom.FPt{X: 0, Y: 0}); got != (geom.Pt{X: 0, Y: 0}) {
+		t.Errorf("origin maps to %v", got)
+	}
+	if got := c.TileOf(geom.FPt{X: 150, Y: 250}); got != (geom.Pt{X: 1, Y: 2}) {
+		t.Errorf("interior maps to %v", got)
+	}
+}
+
+func TestChipDims(t *testing.T) {
+	c := small()
+	if c.ChipW() != 400 || c.ChipH() != 300 {
+		t.Errorf("chip dims = %v x %v", c.ChipW(), c.ChipH())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := small()
+	if c.TotalSinks() != 3 {
+		t.Errorf("TotalSinks = %d", c.TotalSinks())
+	}
+	if c.TotalBufferSites() != 24 {
+		t.Errorf("TotalBufferSites = %d", c.TotalBufferSites())
+	}
+	if c.Nets[1].NumPins() != 3 {
+		t.Errorf("NumPins = %d", c.Nets[1].NumPins())
+	}
+}
+
+func TestNetTilesDedup(t *testing.T) {
+	c := small()
+	n := c.Nets[1]
+	n.Sinks = append(n.Sinks, n.Sinks[0]) // duplicate tile
+	tiles := n.Tiles()
+	if len(tiles) != 3 {
+		t.Errorf("Tiles() = %v, want 3 distinct", tiles)
+	}
+	if tiles[0] != n.Source.Tile {
+		t.Error("source tile must come first")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := small()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != c.Name || got.NumTiles() != c.NumTiles() || len(got.Nets) != len(c.Nets) {
+		t.Error("round trip lost data")
+	}
+	if got.Nets[1].Sinks[1].Tile != c.Nets[1].Sinks[1].Tile {
+		t.Error("round trip lost pin data")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x","grid_w":0}`)); err == nil {
+		t.Error("expected error for invalid circuit")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{garbage`)); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestDecomposeTwoPin(t *testing.T) {
+	c := small()
+	d := c.DecomposeTwoPin()
+	if len(d.Nets) != 3 {
+		t.Fatalf("decomposed into %d nets, want 3", len(d.Nets))
+	}
+	for i, n := range d.Nets {
+		if n.ID != i {
+			t.Errorf("net %d has id %d", i, n.ID)
+		}
+		if len(n.Sinks) != 1 {
+			t.Errorf("net %d has %d sinks", i, len(n.Sinks))
+		}
+	}
+	if d.Nets[1].Source.Tile != c.Nets[1].Source.Tile {
+		t.Error("split nets must keep the source")
+	}
+	if d.Nets[1].Name != "n1/0" || d.Nets[2].Name != "n1/1" {
+		t.Errorf("split names = %q, %q", d.Nets[1].Name, d.Nets[2].Name)
+	}
+	if d.Nets[0].Name != "n0" {
+		t.Errorf("single-sink net renamed to %q", d.Nets[0].Name)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("decomposed circuit invalid: %v", err)
+	}
+	// Mutating the copy must not touch the original.
+	d.BufferSites[0] = 99
+	if c.BufferSites[0] == 99 {
+		t.Error("DecomposeTwoPin shares BufferSites slice")
+	}
+}

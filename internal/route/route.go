@@ -1,0 +1,310 @@
+// Package route implements the tile-graph routing used by Stages 2 and 4:
+// a Prim–Dijkstra-flavored wavefront expansion under the congestion cost of
+// Eq. (1), whole-net rip-up-and-reroute in the style of Nair, and the
+// buffer-aware two-path maze search of Stage 4 that minimizes the combined
+// wire and buffer congestion costs (Eqs. (1) + (2)).
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rtree"
+	"repro/internal/tile"
+)
+
+// Options controls the router.
+type Options struct {
+	// Alpha is the Prim–Dijkstra tradeoff applied to the accumulated path
+	// cost when relaxing neighbors (1 = pure shortest paths). The paper
+	// reuses its Stage-1 value, 0.4.
+	Alpha float64
+	// LengthWeight is added to every edge cost so that among equally
+	// uncongested routes the shorter one wins.
+	LengthWeight float64
+	// OverflowPenalty replaces the +Inf of Eq. (1)/(2) so that a route (or
+	// buffer) always exists even when every alternative is saturated; the
+	// huge cost still makes the router exhaust all finite options first.
+	OverflowPenalty float64
+	// Weight, when non-nil, replaces the congestion cost of Eq. (1) as the
+	// per-edge routing cost (LengthWeight is still added). The
+	// multicommodity-flow router uses this to route under its own
+	// exponential edge lengths.
+	Weight func(e int) float64
+}
+
+// DefaultOptions returns the parameter set used by the experiments.
+func DefaultOptions() Options {
+	return Options{Alpha: 0.4, LengthWeight: 0.05, OverflowPenalty: 1e6}
+}
+
+// edgeCost returns the finite routing cost for edge e.
+func edgeCost(g *tile.Graph, e int, opt Options) float64 {
+	var c float64
+	if opt.Weight != nil {
+		c = opt.Weight(e)
+	} else {
+		c = g.WireCost(e)
+	}
+	if c > opt.OverflowPenalty {
+		c = opt.OverflowPenalty
+	}
+	return c + opt.LengthWeight
+}
+
+// pqItem is a priority-queue entry for the wavefront.
+type pqItem struct {
+	node int
+	key  float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].key < q[j].key }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Reroute computes a fresh route tree for the net on the current congestion
+// state of g. The net's own previous wires must already be removed from g
+// (see RemoveUsage). The route is a union of wavefront paths from the
+// source tile to every sink tile, traced back through the predecessor
+// labels, exactly as described for Stage 2.
+func Reroute(g *tile.Graph, n *netlist.Net, opt Options) (*rtree.Tree, error) {
+	src := n.Source.Tile
+	if !g.InGrid(src) {
+		return nil, fmt.Errorf("route: net %d source %v outside grid", n.ID, src)
+	}
+	nt := g.NumTiles()
+	key := make([]float64, nt)      // PD selection key
+	pathCost := make([]float64, nt) // accumulated edge cost from source
+	pred := make([]int, nt)
+	done := make([]bool, nt)
+	for i := range key {
+		key[i] = math.Inf(1)
+		pred[i] = -1
+	}
+	want := map[int]bool{}
+	for _, s := range n.Sinks {
+		if !g.InGrid(s.Tile) {
+			return nil, fmt.Errorf("route: net %d sink %v outside grid", n.ID, s.Tile)
+		}
+		want[g.TileIndex(s.Tile)] = true
+	}
+	srcIdx := g.TileIndex(src)
+	delete(want, srcIdx)
+
+	key[srcIdx] = 0
+	q := pq{{srcIdx, 0}}
+	var nbuf []geom.Pt
+	for len(q) > 0 && len(want) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		delete(want, u)
+		pu := g.TileAt(u)
+		nbuf = g.Neighbors(pu, nbuf[:0])
+		for _, pv := range nbuf {
+			v := g.TileIndex(pv)
+			if done[v] {
+				continue
+			}
+			e, _ := g.EdgeBetween(pu, pv)
+			ec := edgeCost(g, e, opt)
+			k := opt.Alpha*pathCost[u] + ec
+			if k < key[v] {
+				key[v] = k
+				pathCost[v] = pathCost[u] + ec
+				pred[v] = u
+				heap.Push(&q, pqItem{v, k})
+			}
+		}
+	}
+	if len(want) > 0 {
+		return nil, fmt.Errorf("route: net %d: %d sinks unreachable", n.ID, len(want))
+	}
+	// Trace each sink back to the source; the union of predecessor paths is
+	// a tree because every node has one predecessor.
+	parent := map[geom.Pt]geom.Pt{}
+	for _, s := range n.Sinks {
+		for v := g.TileIndex(s.Tile); v != srcIdx; v = pred[v] {
+			pv := g.TileAt(v)
+			if _, ok := parent[pv]; ok {
+				break // already traced from here up
+			}
+			parent[pv] = g.TileAt(pred[v])
+		}
+	}
+	sinks := make([]geom.Pt, len(n.Sinks))
+	for i, s := range n.Sinks {
+		sinks[i] = s.Tile
+	}
+	rt, err := rtree.FromParentMap(src, parent, sinks)
+	if err != nil {
+		return nil, fmt.Errorf("route: net %d: %w", n.ID, err)
+	}
+	return rt.Prune(), nil
+}
+
+// AddUsage registers one wire per route-tree edge on the graph.
+func AddUsage(g *tile.Graph, rt *rtree.Tree) {
+	for _, pq := range rt.EdgePairs() {
+		e, ok := g.EdgeBetween(pq[0], pq[1])
+		if !ok {
+			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", pq[0], pq[1]))
+		}
+		g.AddWire(e)
+	}
+}
+
+// RemoveUsage removes the route tree's wires from the graph.
+func RemoveUsage(g *tile.Graph, rt *rtree.Tree) {
+	for _, pq := range rt.EdgePairs() {
+		e, ok := g.EdgeBetween(pq[0], pq[1])
+		if !ok {
+			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", pq[0], pq[1]))
+		}
+		g.RemoveWire(e)
+	}
+}
+
+// RipupPass performs one full Nair-style pass: every net, in the given
+// order, is deleted entirely and rerouted under the current congestion.
+// routes is updated in place (indexed like nets).
+func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, opt Options) error {
+	for _, i := range order {
+		RemoveUsage(g, routes[i])
+		rt, err := Reroute(g, nets[i], opt)
+		if err != nil {
+			AddUsage(g, routes[i]) // restore before failing
+			return err
+		}
+		routes[i] = rt
+		AddUsage(g, rt)
+	}
+	return nil
+}
+
+// ReduceCongestion is Stage 2: up to maxPasses full rip-up-and-reroute
+// passes, stopping early once no edge exceeds capacity. It returns the
+// number of passes executed.
+func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options) (int, error) {
+	passes := 0
+	for passes < maxPasses {
+		if g.WireCongestion().Overflow == 0 && passes > 0 {
+			break
+		}
+		if err := RipupPass(g, nets, routes, order, opt); err != nil {
+			return passes, err
+		}
+		passes++
+		if g.WireCongestion().Overflow == 0 {
+			break
+		}
+	}
+	return passes, nil
+}
+
+// BufferAwarePath finds the cheapest tail-to-head reconnection for a ripped
+// two-path under the combined wire + buffer congestion cost. The search
+// state is (tile, j) where j is the tile distance since the last buffer
+// (bounded by L-1, as in the Stage-3 cost arrays); moving to a tile either
+// advances j or places a buffer there (adding the Eq. (2) site cost) and
+// resets j. blocked tiles (the rest of the net's tree) are not entered.
+// The returned path runs from head to tail inclusive.
+func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.Pt]bool, opt Options) ([]geom.Pt, error) {
+	if L < 1 {
+		return nil, fmt.Errorf("route: length constraint %d < 1", L)
+	}
+	if !g.InGrid(tail) || !g.InGrid(head) {
+		return nil, fmt.Errorf("route: endpoints %v,%v outside grid", tail, head)
+	}
+	nt := g.NumTiles()
+	size := nt * L
+	dist := make([]float64, size)
+	pred := make([]int32, size)
+	done := make([]bool, size)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		pred[i] = -1
+	}
+	siteCost := func(v int) float64 {
+		c := g.SiteCost(v)
+		if c > opt.OverflowPenalty {
+			c = opt.OverflowPenalty
+		}
+		return c
+	}
+	state := func(v, j int) int { return v*L + j }
+	start := state(g.TileIndex(tail), 0)
+	dist[start] = 0
+	q := pq{{start, 0}}
+	headIdx := g.TileIndex(head)
+	var nbuf []geom.Pt
+	goal := -1
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		s := it.node
+		if done[s] {
+			continue
+		}
+		done[s] = true
+		v, j := s/L, s%L
+		if v == headIdx {
+			goal = s
+			break
+		}
+		pv := g.TileAt(v)
+		nbuf = g.Neighbors(pv, nbuf[:0])
+		for _, pw := range nbuf {
+			if blocked[pw] && pw != head {
+				continue
+			}
+			w := g.TileIndex(pw)
+			e, _ := g.EdgeBetween(pv, pw)
+			wc := edgeCost(g, e, opt)
+			// Advance without buffering.
+			if j+1 < L {
+				ns := state(w, j+1)
+				if nd := dist[s] + wc; nd < dist[ns] {
+					dist[ns] = nd
+					pred[ns] = int32(s)
+					heap.Push(&q, pqItem{ns, nd})
+				}
+			}
+			// Buffer at the new tile.
+			ns := state(w, 0)
+			if nd := dist[s] + wc + siteCost(w); nd < dist[ns] {
+				dist[ns] = nd
+				pred[ns] = int32(s)
+				heap.Push(&q, pqItem{ns, nd})
+			}
+		}
+	}
+	if goal < 0 {
+		return nil, fmt.Errorf("route: no reconnection from %v to %v", tail, head)
+	}
+	var rev []geom.Pt
+	for s := goal; s != -1; s = int(pred[s]) {
+		v := s / L
+		pv := g.TileAt(v)
+		if len(rev) == 0 || rev[len(rev)-1] != pv {
+			rev = append(rev, pv)
+		}
+	}
+	// rev is head..tail already (we traced from the head state back).
+	return rev, nil
+}

@@ -1,0 +1,300 @@
+// Package rtree represents a net's global route as a tree over tiles: every
+// tile the route passes through is a node, edges join grid-adjacent tiles,
+// node 0 is the source tile. This is the structure Stage 3's buffer
+// insertion walks (one DP step per tile) and the delay model evaluates.
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Tree is a rooted tree of tiles. Node 0 is the root (the tile containing
+// the net's source). SinkNode[k] is the node index of the tile containing
+// the net's k-th sink; several sinks may share a node, and a sink node may
+// be internal (a route passing through it).
+type Tree struct {
+	Tile     []geom.Pt
+	Parent   []int // Parent[0] == -1
+	SinkNode []int
+
+	children [][]int // built lazily
+}
+
+// FromParentMap assembles a Tree from a parent-pointer map produced by a
+// router: parent[t] is the tile preceding t on its path to the source. The
+// source tile must not appear as a key. Sink tiles must be present (or be
+// the source tile itself).
+func FromParentMap(source geom.Pt, parent map[geom.Pt]geom.Pt, sinks []geom.Pt) (*Tree, error) {
+	index := map[geom.Pt]int{source: 0}
+	t := &Tree{Tile: []geom.Pt{source}, Parent: []int{-1}}
+	// Insert tiles in an order that guarantees parents exist first: walk up
+	// from every key to the source, then unwind.
+	var insert func(p geom.Pt) (int, error)
+	insert = func(p geom.Pt) (int, error) {
+		if i, ok := index[p]; ok {
+			return i, nil
+		}
+		pp, ok := parent[p]
+		if !ok {
+			return 0, fmt.Errorf("rtree: tile %v has no parent and is not the source", p)
+		}
+		if pp.Manhattan(p) != 1 {
+			return 0, fmt.Errorf("rtree: parent %v not adjacent to %v", pp, p)
+		}
+		pi, err := insert(pp)
+		if err != nil {
+			return 0, err
+		}
+		i := len(t.Tile)
+		index[p] = i
+		t.Tile = append(t.Tile, p)
+		t.Parent = append(t.Parent, pi)
+		return i, nil
+	}
+	// Insert in a deterministic order: map iteration order would otherwise
+	// vary the node numbering between runs, and downstream tie-breaking
+	// (e.g. the buffer DP's argmin) would follow it.
+	keys := make([]geom.Pt, 0, len(parent))
+	for p := range parent {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Y != keys[b].Y {
+			return keys[a].Y < keys[b].Y
+		}
+		return keys[a].X < keys[b].X
+	})
+	for _, p := range keys {
+		if _, err := insert(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range sinks {
+		i, ok := index[s]
+		if !ok {
+			return nil, fmt.Errorf("rtree: sink tile %v not on route", s)
+		}
+		t.SinkNode = append(t.SinkNode, i)
+	}
+	return t, nil
+}
+
+// NumNodes returns the number of tiles spanned by the route.
+func (t *Tree) NumNodes() int { return len(t.Tile) }
+
+// NumEdges returns the number of tile-graph edges used (nodes - 1).
+func (t *Tree) NumEdges() int { return len(t.Tile) - 1 }
+
+// Children returns the child node indices of v. The adjacency is built on
+// first use and cached; callers must not mutate Parent afterwards.
+func (t *Tree) Children(v int) []int {
+	if t.children == nil {
+		t.children = make([][]int, len(t.Tile))
+		for i := 1; i < len(t.Parent); i++ {
+			p := t.Parent[i]
+			t.children[p] = append(t.children[p], i)
+		}
+	}
+	return t.children[v]
+}
+
+// PostOrder returns the node indices in post-order (children before
+// parents), root last.
+func (t *Tree) PostOrder() []int {
+	order := make([]int, 0, len(t.Tile))
+	// Iterative DFS to avoid recursion depth issues on long snakes.
+	type frame struct {
+		node, next int
+	}
+	stack := []frame{{0, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.Children(f.node)
+		if f.next < len(kids) {
+			c := kids[f.next]
+			f.next++
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// IsSink reports whether node v carries at least one sink.
+func (t *Tree) IsSink(v int) bool {
+	for _, s := range t.SinkNode {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SinksAt returns how many sinks node v carries.
+func (t *Tree) SinksAt(v int) int {
+	n := 0
+	for _, s := range t.SinkNode {
+		if s == v {
+			n++
+		}
+	}
+	return n
+}
+
+// EdgePairs returns the (parent tile, child tile) pairs of all tree edges,
+// in node order. Useful for registering wire usage on a tile graph.
+func (t *Tree) EdgePairs() [][2]geom.Pt {
+	out := make([][2]geom.Pt, 0, t.NumEdges())
+	for v := 1; v < len(t.Tile); v++ {
+		out = append(out, [2]geom.Pt{t.Tile[t.Parent[v]], t.Tile[v]})
+	}
+	return out
+}
+
+// Validate checks the structural invariants: a single root at node 0,
+// parent-child tiles grid-adjacent, no duplicate tiles, all sink indices in
+// range, and inGrid (when non-nil) satisfied by every tile.
+func (t *Tree) Validate(inGrid func(geom.Pt) bool) error {
+	if len(t.Tile) == 0 || len(t.Parent) != len(t.Tile) {
+		return fmt.Errorf("rtree: malformed arrays (%d tiles, %d parents)", len(t.Tile), len(t.Parent))
+	}
+	if t.Parent[0] != -1 {
+		return fmt.Errorf("rtree: node 0 must be the root")
+	}
+	seen := make(map[geom.Pt]bool, len(t.Tile))
+	for v, p := range t.Parent {
+		if seen[t.Tile[v]] {
+			return fmt.Errorf("rtree: duplicate tile %v", t.Tile[v])
+		}
+		seen[t.Tile[v]] = true
+		if inGrid != nil && !inGrid(t.Tile[v]) {
+			return fmt.Errorf("rtree: tile %v outside grid", t.Tile[v])
+		}
+		if v == 0 {
+			continue
+		}
+		if p < 0 || p >= len(t.Tile) {
+			return fmt.Errorf("rtree: node %d parent %d out of range", v, p)
+		}
+		if p >= v {
+			// FromParentMap and the routers always insert parents first;
+			// relying on it keeps traversals simple.
+			return fmt.Errorf("rtree: node %d has parent %d >= itself", v, p)
+		}
+		if t.Tile[v].Manhattan(t.Tile[p]) != 1 {
+			return fmt.Errorf("rtree: nodes %d-%d tiles %v-%v not adjacent", v, p, t.Tile[v], t.Tile[p])
+		}
+	}
+	for _, s := range t.SinkNode {
+		if s < 0 || s >= len(t.Tile) {
+			return fmt.Errorf("rtree: sink node %d out of range", s)
+		}
+	}
+	return nil
+}
+
+// Prune removes leaf tiles that carry no sink and are not the root,
+// repeating until none remain. Routers that graft paths can leave such
+// stubs behind. It returns a new tree; the receiver is unchanged.
+func (t *Tree) Prune() *Tree {
+	n := len(t.Tile)
+	deg := make([]int, n) // child counts
+	for v := 1; v < n; v++ {
+		deg[t.Parent[v]]++
+	}
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	isSink := make([]bool, n)
+	for _, s := range t.SinkNode {
+		isSink[s] = true
+	}
+	// Iteratively peel childless, sinkless, non-root nodes.
+	queue := []int{}
+	for v := 1; v < n; v++ {
+		if deg[v] == 0 && !isSink[v] {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		keep[v] = false
+		p := t.Parent[v]
+		deg[p]--
+		if p != 0 && deg[p] == 0 && !isSink[p] && keep[p] {
+			queue = append(queue, p)
+		}
+	}
+	// Rebuild with dense indices, preserving parent-before-child order.
+	remap := make([]int, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	nt := &Tree{}
+	for v := 0; v < n; v++ {
+		if !keep[v] {
+			continue
+		}
+		remap[v] = len(nt.Tile)
+		nt.Tile = append(nt.Tile, t.Tile[v])
+		if v == 0 {
+			nt.Parent = append(nt.Parent, -1)
+		} else {
+			nt.Parent = append(nt.Parent, remap[t.Parent[v]])
+		}
+	}
+	for _, s := range t.SinkNode {
+		nt.SinkNode = append(nt.SinkNode, remap[s])
+	}
+	return nt
+}
+
+// TwoPaths decomposes the tree into its two-paths: maximal paths whose
+// interior nodes have degree two (one child, no sink), ending at the root,
+// a sink node, or a branching (Steiner) node. Each path is returned as node
+// indices from the upstream end (head, closer to the root) to the
+// downstream end (tail).
+func (t *Tree) TwoPaths() [][]int {
+	n := len(t.Tile)
+	childCount := make([]int, n)
+	for v := 1; v < n; v++ {
+		childCount[t.Parent[v]]++
+	}
+	endpoint := func(v int) bool {
+		return v == 0 || childCount[v] != 1 || t.IsSink(v)
+	}
+	var paths [][]int
+	// Walk down from every endpoint through degree-2 chains.
+	for v := 0; v < n; v++ {
+		if !endpoint(v) {
+			continue
+		}
+		for _, c := range t.Children(v) {
+			path := []int{v, c}
+			for !endpoint(path[len(path)-1]) {
+				path = append(path, t.Children(path[len(path)-1])[0])
+			}
+			paths = append(paths, path)
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		return paths[i][0] < paths[j][0] || (paths[i][0] == paths[j][0] && paths[i][1] < paths[j][1])
+	})
+	return paths
+}
+
+// PathTiles maps a node-index path to its tiles.
+func (t *Tree) PathTiles(path []int) []geom.Pt {
+	out := make([]geom.Pt, len(path))
+	for i, v := range path {
+		out[i] = t.Tile[v]
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package siteplan implements the paper's Section I-B procedure for
+// deciding how many buffer sites each macro block should reserve: "one
+// could assume an infinite number of available buffer sites, run a buffer
+// allocation tool like RABID, and compute the number of buffers inserted
+// in each block. Then, this number can be used to help determine the
+// actual number of buffer sites to allocate within the block."
+//
+// Plan runs RABID on a copy of the circuit with an effectively unlimited,
+// uniform site supply, attributes every inserted buffer to the floorplan
+// region containing its tile (a block, or the channel space between
+// blocks), and scales the observed demand by a headroom factor into a
+// per-region site recommendation.
+package siteplan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Region is one demand-attribution target: a macro block or the shared
+// channel area.
+type Region struct {
+	// Block is the index into Circuit.Blocks, or -1 for channel space.
+	Block int
+	// Buffers is the number of buffers RABID placed in the region under
+	// unlimited supply.
+	Buffers int
+	// Recommended is the suggested buffer-site allocation.
+	Recommended int
+	// AreaUm2 is the region area (chip minus blocks for the channel row).
+	AreaUm2 float64
+}
+
+// Plan is the result of a site-planning run.
+type Plan struct {
+	Regions []Region
+	// TotalBuffers is the buffer count of the unlimited-supply run.
+	TotalBuffers int
+	// TotalRecommended sums the recommendations.
+	TotalRecommended int
+}
+
+// Options tunes the planning run.
+type Options struct {
+	// Headroom scales observed demand into the recommendation (the paper's
+	// Table III guidance of <= 1-in-5 occupancy suggests ~5). Values < 1
+	// are rejected. Zero defaults to 5.
+	Headroom float64
+	// SitesPerTile is the uniform "infinite" supply. Zero defaults to a
+	// value safely above any per-tile demand (64).
+	SitesPerTile int
+	// Params for the underlying RABID run; zero value uses defaults.
+	Params core.Params
+}
+
+// Run executes the unlimited-supply RABID run and attributes demand.
+func Run(c *netlist.Circuit, opt Options) (*Plan, error) {
+	if opt.Headroom == 0 {
+		opt.Headroom = 5
+	}
+	if opt.Headroom < 1 {
+		return nil, fmt.Errorf("siteplan: headroom %g < 1", opt.Headroom)
+	}
+	if opt.SitesPerTile == 0 {
+		opt.SitesPerTile = 64
+	}
+	if opt.SitesPerTile < 1 {
+		return nil, fmt.Errorf("siteplan: sites per tile %d < 1", opt.SitesPerTile)
+	}
+	if opt.Params.MaxRipupPasses == 0 {
+		// Zero-value params: use the defaults.
+		opt.Params = core.DefaultParams()
+	}
+	// Unlimited-supply copy: uniform sites everywhere (including regions
+	// that were blocked), so the planner reveals where demand naturally
+	// falls.
+	cc := *c
+	cc.BufferSites = make([]int, c.NumTiles())
+	for i := range cc.BufferSites {
+		cc.BufferSites[i] = opt.SitesPerTile
+	}
+	res, err := core.Run(&cc, opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	// Attribute each buffer to the region owning its tile center.
+	demand := make([]int, len(c.Blocks)+1) // last entry: channels
+	for i, rt := range res.Routes {
+		for _, b := range res.Assignments[i].Buffers {
+			t := rt.Tile[b.Node]
+			center := geom.FPt{
+				X: (float64(t.X) + 0.5) * c.TileUm,
+				Y: (float64(t.Y) + 0.5) * c.TileUm,
+			}
+			idx := len(c.Blocks)
+			for bi, blk := range c.Blocks {
+				if blk.Contains(center) {
+					idx = bi
+					break
+				}
+			}
+			demand[idx]++
+		}
+	}
+	p := &Plan{TotalBuffers: res.TotalBuffers()}
+	chipArea := c.ChipW() * c.ChipH()
+	blockArea := 0.0
+	for bi, blk := range c.Blocks {
+		rec := int(math.Ceil(float64(demand[bi]) * opt.Headroom))
+		p.Regions = append(p.Regions, Region{
+			Block:       bi,
+			Buffers:     demand[bi],
+			Recommended: rec,
+			AreaUm2:     blk.Area(),
+		})
+		p.TotalRecommended += rec
+		blockArea += blk.Area()
+	}
+	chRec := int(math.Ceil(float64(demand[len(c.Blocks)]) * opt.Headroom))
+	p.Regions = append(p.Regions, Region{
+		Block:       -1,
+		Buffers:     demand[len(c.Blocks)],
+		Recommended: chRec,
+		AreaUm2:     chipArea - blockArea,
+	})
+	p.TotalRecommended += chRec
+	return p, nil
+}
+
+// Apply writes a site distribution following the plan back onto a copy of
+// the circuit: each region's recommended sites are spread uniformly over
+// the tiles whose centers it owns. Useful to close the loop: plan sites,
+// then run RABID against the planned allocation.
+func (p *Plan) Apply(c *netlist.Circuit) *netlist.Circuit {
+	cc := *c
+	cc.BufferSites = make([]int, c.NumTiles())
+	// Tiles per region.
+	owner := make([]int, c.NumTiles())
+	counts := make([]int, len(c.Blocks)+1)
+	for ti := range owner {
+		t := geom.Pt{X: ti % c.GridW, Y: ti / c.GridW}
+		center := geom.FPt{
+			X: (float64(t.X) + 0.5) * c.TileUm,
+			Y: (float64(t.Y) + 0.5) * c.TileUm,
+		}
+		idx := len(c.Blocks)
+		for bi, blk := range c.Blocks {
+			if blk.Contains(center) {
+				idx = bi
+				break
+			}
+		}
+		owner[ti] = idx
+		counts[idx]++
+	}
+	perRegion := make([]int, len(counts))
+	rem := make([]int, len(counts))
+	for _, r := range p.Regions {
+		idx := r.Block
+		if idx < 0 {
+			idx = len(c.Blocks)
+		}
+		if counts[idx] > 0 {
+			perRegion[idx] = r.Recommended / counts[idx]
+			rem[idx] = r.Recommended % counts[idx]
+		}
+	}
+	for ti := range owner {
+		idx := owner[ti]
+		cc.BufferSites[ti] = perRegion[idx]
+		if rem[idx] > 0 {
+			cc.BufferSites[ti]++
+			rem[idx]--
+		}
+	}
+	return &cc
+}

@@ -1,0 +1,164 @@
+// Package slew models signal slew (transition time) on buffered routed
+// trees. The paper's length rule exists because of slew: "a maximum
+// distance between buffers was derived based on the desired input slew
+// rate, and this rule was used to guide global buffer insertion"
+// (Section II, footnote on the IBM microprocessor). This package closes
+// that loop: it evaluates the slew a buffering actually produces, and
+// derives the tile length constraint L from a slew target so that the
+// planning rule is grounded in the technology instead of hand-picked.
+//
+// Model: within one gate stage (driver or buffer to the next buffer inputs
+// and sinks), the slew at a point is ln(9) times the stage-local Elmore
+// delay to that point — the 10-90% transition of a single-pole step
+// response. Buffers regenerate slew, so stages are independent; the
+// reported figure is the worst slew seen at any buffer input or sink.
+package slew
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/rtree"
+	"repro/internal/tech"
+)
+
+// Ln9 converts a time constant to a 10-90% transition time.
+var Ln9 = math.Log(9)
+
+// Evaluator computes slews for routed trees on a tiling.
+type Evaluator struct {
+	Tech   tech.Tech
+	TileUm float64
+}
+
+// NewEvaluator validates the inputs.
+func NewEvaluator(t tech.Tech, tileUm float64) (Evaluator, error) {
+	if err := t.Validate(); err != nil {
+		return Evaluator{}, err
+	}
+	if tileUm <= 0 {
+		return Evaluator{}, fmt.Errorf("slew: tile size %g must be positive", tileUm)
+	}
+	return Evaluator{Tech: t, TileUm: tileUm}, nil
+}
+
+// MaxSlew returns the worst 10-90% slew (seconds) at any buffer input or
+// sink of the buffered tree.
+func (e Evaluator) MaxSlew(rt *rtree.Tree, bufs []delay.Placed) (float64, error) {
+	// Reuse the Elmore machinery by evaluating each stage separately: the
+	// stage-local Elmore at a receiving pin is exactly the delay the
+	// evaluator computes when the stage's gate is the driver. Rather than
+	// re-deriving the recursion, we compute arrival times twice: once with
+	// the real buffering and once with "free" buffers whose intrinsic
+	// delay and output resistance are zero — the difference at any pin of
+	// a given stage isolates... that is fragile; instead run a dedicated
+	// stage-local recursion below.
+	n := rt.NumNodes()
+	trunk := make([]*tech.Gate, n)
+	branch := map[[2]int]*tech.Gate{}
+	for _, p := range bufs {
+		g := p.Gate
+		if p.Buf.Node < 0 || p.Buf.Node >= n {
+			return 0, fmt.Errorf("slew: buffer node %d out of range", p.Buf.Node)
+		}
+		if p.Buf.Branch == -1 {
+			trunk[p.Buf.Node] = &g
+			continue
+		}
+		if p.Buf.Branch < 0 || p.Buf.Branch >= n || rt.Parent[p.Buf.Branch] != p.Buf.Node {
+			return 0, fmt.Errorf("slew: buffer branch %d is not a child of %d", p.Buf.Branch, p.Buf.Node)
+		}
+		branch[[2]int{p.Buf.Node, p.Buf.Branch}] = &g
+	}
+	t := e.Tech
+	wireR := t.WireRes(e.TileUm)
+	wireC := t.WireCap(e.TileUm)
+
+	junction := make([]float64, n)
+	nodeLoad := func(v int) float64 {
+		if g := trunk[v]; g != nil {
+			return g.InCap
+		}
+		return junction[v]
+	}
+	for _, v := range rt.PostOrder() {
+		c := float64(rt.SinksAt(v)) * t.SinkCap
+		for _, w := range rt.Children(v) {
+			if g := branch[[2]int{v, w}]; g != nil {
+				c += g.InCap
+			} else {
+				c += wireC + nodeLoad(w)
+			}
+		}
+		junction[v] = c
+	}
+
+	worst := 0.0
+	record := func(tau float64) {
+		if s := Ln9 * tau; s > worst {
+			worst = s
+		}
+	}
+	// descend walks one stage; tau is the stage-local Elmore time at the
+	// current junction. enter handles crossing into node w, which may start
+	// a new stage at a trunk buffer.
+	var descend func(v int, tau float64)
+	enter := func(w int, tw float64) {
+		if g := trunk[w]; g != nil {
+			record(tw) // slew at the trunk buffer's input
+			descend(w, g.OutRes*junction[w])
+			return
+		}
+		descend(w, tw)
+	}
+	descend = func(v int, tau float64) {
+		if rt.SinksAt(v) > 0 {
+			record(tau)
+		}
+		for _, w := range rt.Children(v) {
+			if g := branch[[2]int{v, w}]; g != nil {
+				record(tau) // the branch buffer's input sits here
+				t0 := g.OutRes * (wireC + nodeLoad(w))
+				enter(w, t0+wireR*(wireC/2+nodeLoad(w)))
+				continue
+			}
+			enter(w, tau+wireR*(wireC/2+nodeLoad(w)))
+		}
+	}
+	if g := trunk[0]; g != nil {
+		record(t.DriverRes * g.InCap)
+		descend(0, g.OutRes*junction[0])
+	} else {
+		descend(0, t.DriverRes*junction[0])
+	}
+	return worst, nil
+}
+
+// LineSlew returns the slew at the end of a single stage driving a straight
+// line of k tiles terminated by one sink load — the worst-case shape for a
+// given total stage wirelength.
+func (e Evaluator) LineSlew(k int) float64 {
+	t := e.Tech
+	wireR := t.WireRes(e.TileUm)
+	wireC := t.WireCap(e.TileUm)
+	ctot := float64(k)*wireC + t.SinkCap
+	tau := t.Buffer.OutRes * ctot
+	cdown := ctot
+	for i := 0; i < k; i++ {
+		cdown -= wireC
+		tau += wireR * (wireC/2 + cdown)
+	}
+	return Ln9 * tau
+}
+
+// DeriveL returns the largest tile length constraint L whose worst-case
+// stage (a straight L-tile line) still meets the slew target, the paper's
+// rule-of-thumb derivation. It returns at least 1.
+func (e Evaluator) DeriveL(target float64) int {
+	l := 1
+	for e.LineSlew(l+1) <= target && l < 1<<20 {
+		l++
+	}
+	return l
+}

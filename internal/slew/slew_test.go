@@ -1,0 +1,231 @@
+package slew
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bufferdp"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rtree"
+	"repro/internal/tech"
+)
+
+func pathTree(n int) *rtree.Tree {
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x < n; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	t, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{{X: n - 1}})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func eval(t *testing.T) Evaluator {
+	t.Helper()
+	e, err := NewEvaluator(tech.Default018(), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func trunkAt(vs ...int) []delay.Placed {
+	var out []delay.Placed
+	for _, v := range vs {
+		out = append(out, delay.Placed{
+			Buf:  bufferdp.Buffer{Node: v, Branch: -1},
+			Gate: tech.Default018().Buffer,
+		})
+	}
+	return out
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(tech.Tech{}, 600); err == nil {
+		t.Error("invalid tech accepted")
+	}
+	if _, err := NewEvaluator(tech.Default018(), 0); err == nil {
+		t.Error("zero tile accepted")
+	}
+}
+
+func TestLineSlewMonotone(t *testing.T) {
+	e := eval(t)
+	prev := 0.0
+	for k := 1; k <= 20; k++ {
+		s := e.LineSlew(k)
+		if s <= prev {
+			t.Fatalf("LineSlew not increasing at k=%d", k)
+		}
+		prev = s
+	}
+}
+
+func TestMaxSlewMatchesLineSlewOnUnbufferedLine(t *testing.T) {
+	e := eval(t)
+	// A k-edge unbuffered line driven by the driver (Rd == buffer OutRes in
+	// this technology) terminated by one sink is exactly LineSlew(k).
+	for _, k := range []int{1, 3, 8} {
+		rt := pathTree(k + 1)
+		got, err := e.MaxSlew(rt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := e.LineSlew(k)
+		if math.Abs(got-want) > 1e-15 {
+			t.Errorf("k=%d: MaxSlew %.4g != LineSlew %.4g", k, got, want)
+		}
+	}
+}
+
+func TestBuffersReduceSlew(t *testing.T) {
+	e := eval(t)
+	rt := pathTree(21)
+	unbuf, err := e.MaxSlew(rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := e.MaxSlew(rt, trunkAt(5, 10, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf >= unbuf {
+		t.Errorf("buffering did not reduce slew: %.4g -> %.4g", unbuf, buf)
+	}
+}
+
+func TestDeriveLRoundTrips(t *testing.T) {
+	e := eval(t)
+	for _, target := range []float64{100e-12, 250e-12, 500e-12} {
+		l := e.DeriveL(target)
+		if l < 1 {
+			t.Fatalf("DeriveL returned %d", l)
+		}
+		if e.LineSlew(l) > target && l > 1 {
+			t.Errorf("target %.3g: L=%d already violates", target, l)
+		}
+		if e.LineSlew(l+1) <= target {
+			t.Errorf("target %.3g: L=%d not maximal", target, l)
+		}
+	}
+	// Tighter targets give shorter constraints.
+	if e.DeriveL(100e-12) > e.DeriveL(500e-12) {
+		t.Error("DeriveL not monotone in target")
+	}
+}
+
+func TestDeriveLMagnitudeMatchesPaperRule(t *testing.T) {
+	// The paper's experiments use L in {5, 6} with ~0.6-0.9 mm tiles, i.e.
+	// ~3-5 mm between repeaters in 0.18 um. A few-hundred-ps slew target
+	// should land in that range.
+	e := eval(t)
+	l := e.DeriveL(400e-12)
+	if l < 3 || l > 12 {
+		t.Errorf("DeriveL(400ps) = %d tiles of 600um; expected a handful", l)
+	}
+}
+
+func TestFeasiblePlanMeetsSlewTarget(t *testing.T) {
+	// Run RABID on a small circuit whose L is derived from a slew target;
+	// every net with a feasible (violation-free) assignment must meet the
+	// target, since a line is the worst stage shape per unit length...
+	// modulo multi-fanout stages, which carry extra load; allow a small
+	// margin for those.
+	const grid, tileUm = 12, 600.0
+	e, err := NewEvaluator(tech.Default018(), tileUm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 400e-12
+	L := e.DeriveL(target)
+	c := &netlist.Circuit{
+		Name: "slew", GridW: grid, GridH: grid, TileUm: tileUm,
+		BufferSites: make([]int, grid*grid),
+	}
+	for i := range c.BufferSites {
+		c.BufferSites[i] = 3
+	}
+	pin := func(x, y int) netlist.Pin {
+		p := geom.FPt{X: (float64(x) + 0.5) * tileUm, Y: (float64(y) + 0.5) * tileUm}
+		return netlist.Pin{Tile: geom.Pt{X: x, Y: y}, Pos: p}
+	}
+	c.Nets = []*netlist.Net{
+		{ID: 0, Name: "a", L: L, Source: pin(0, 0), Sinks: []netlist.Pin{pin(11, 11)}},
+		{ID: 1, Name: "b", L: L, Source: pin(11, 0), Sinks: []netlist.Pin{pin(0, 11)}},
+		{ID: 2, Name: "c", L: L, Source: pin(0, 5), Sinks: []netlist.Pin{pin(11, 5)}},
+	}
+	res, err := core.Run(c, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Nets {
+		if !res.Assignments[i].Feasible() {
+			continue
+		}
+		var placed []delay.Placed
+		for _, b := range res.Assignments[i].Buffers {
+			placed = append(placed, delay.Placed{Buf: b, Gate: tech.Default018().Buffer})
+		}
+		s, err := e.MaxSlew(res.Routes[i], placed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > target*1.3 {
+			t.Errorf("net %d: slew %.3g exceeds target %.3g despite feasibility", i, s, target)
+		}
+	}
+}
+
+func TestMaxSlewValidation(t *testing.T) {
+	e := eval(t)
+	rt := pathTree(3)
+	bad := []delay.Placed{{Buf: bufferdp.Buffer{Node: 99, Branch: -1}}}
+	if _, err := e.MaxSlew(rt, bad); err == nil {
+		t.Error("bad buffer node accepted")
+	}
+	bad = []delay.Placed{{Buf: bufferdp.Buffer{Node: 0, Branch: 2}}}
+	if _, err := e.MaxSlew(rt, bad); err == nil {
+		t.Error("bad branch accepted")
+	}
+}
+
+func TestBranchBufferSlewRecorded(t *testing.T) {
+	// Y-tree with a branch buffer: the buffer's input slew is the trunk
+	// stage's slew at the branch node.
+	parent := map[geom.Pt]geom.Pt{
+		{X: 1, Y: 0}: {X: 0, Y: 0},
+		{X: 2, Y: 0}: {X: 1, Y: 0},
+		{X: 1, Y: 1}: {X: 1, Y: 0},
+	}
+	rt, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{{X: 2, Y: 0}, {X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	branchNode := -1
+	childNode := -1
+	for v, tl := range rt.Tile {
+		if tl == (geom.Pt{X: 1, Y: 0}) {
+			branchNode = v
+		}
+		if tl == (geom.Pt{X: 1, Y: 1}) {
+			childNode = v
+		}
+	}
+	e := eval(t)
+	placed := []delay.Placed{{
+		Buf:  bufferdp.Buffer{Node: branchNode, Branch: childNode},
+		Gate: tech.Default018().Buffer,
+	}}
+	s, err := e.MaxSlew(rt, placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s > 0) {
+		t.Errorf("slew = %v", s)
+	}
+}

@@ -1,0 +1,259 @@
+// Package steiner converts spanning trees into rectilinear Steiner trees by
+// the paper's Stage-1 greedy overlap removal (Fig. 4) and embeds the result
+// onto the tile grid as a routed tree (rtree.Tree).
+package steiner
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rtree"
+	"repro/internal/spanning"
+)
+
+// Tree is a Steiner tree over tile coordinates: the input terminals first
+// (in their original order), then any Steiner points introduced.
+type Tree struct {
+	Pts          []geom.Pt
+	NumTerminals int
+	Edges        [][2]int
+}
+
+// Wirelength returns the total Manhattan length of the tree edges.
+func (t *Tree) Wirelength() int {
+	total := 0
+	for _, e := range t.Edges {
+		total += t.Pts[e[0]].Manhattan(t.Pts[e[1]])
+	}
+	return total
+}
+
+// median3 returns the median of three ints.
+func median3(a, b, c int) int {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// steinerPoint returns the 1-median (componentwise median) of three points,
+// the optimal meeting point for the triple in the Manhattan metric.
+func steinerPoint(u, a, b geom.Pt) geom.Pt {
+	return geom.Pt{X: median3(u.X, a.X, b.X), Y: median3(u.Y, a.Y, b.Y)}
+}
+
+// RemoveOverlaps greedily removes wirelength overlap from a spanning tree
+// (Fig. 4): it repeatedly finds the pair of tree edges sharing an endpoint
+// with the largest positive overlap, replaces them with three edges through
+// the triple's median point, and stops when no pair improves. parent is the
+// spanning-tree parent array over pts (parent[0] = -1).
+func RemoveOverlaps(pts []geom.Pt, parent []int) *Tree {
+	t := &Tree{
+		Pts:          append([]geom.Pt(nil), pts...),
+		NumTerminals: len(pts),
+	}
+	for v, p := range parent {
+		if p >= 0 {
+			t.Edges = append(t.Edges, [2]int{p, v})
+		}
+	}
+	for {
+		gain, e1, e2, u, s := t.bestOverlap()
+		if gain <= 0 {
+			return t
+		}
+		t.apply(e1, e2, u, s)
+	}
+}
+
+// bestOverlap scans all edge pairs sharing an endpoint and returns the best
+// gain with the chosen edges, shared node, and Steiner point.
+func (t *Tree) bestOverlap() (gain, e1, e2, u int, s geom.Pt) {
+	// adjacency: node -> incident edge indices
+	adj := make([][]int, len(t.Pts))
+	for i, e := range t.Edges {
+		adj[e[0]] = append(adj[e[0]], i)
+		adj[e[1]] = append(adj[e[1]], i)
+	}
+	gain, e1, e2, u = 0, -1, -1, -1
+	for node, inc := range adj {
+		for i := 0; i < len(inc); i++ {
+			for j := i + 1; j < len(inc); j++ {
+				a := t.other(inc[i], node)
+				b := t.other(inc[j], node)
+				sp := steinerPoint(t.Pts[node], t.Pts[a], t.Pts[b])
+				before := t.Pts[node].Manhattan(t.Pts[a]) + t.Pts[node].Manhattan(t.Pts[b])
+				after := t.Pts[node].Manhattan(sp) + sp.Manhattan(t.Pts[a]) + sp.Manhattan(t.Pts[b])
+				if g := before - after; g > gain {
+					gain, e1, e2, u, s = g, inc[i], inc[j], node, sp
+				}
+			}
+		}
+	}
+	return gain, e1, e2, u, s
+}
+
+// other returns the endpoint of edge e that is not node.
+func (t *Tree) other(e, node int) int {
+	if t.Edges[e][0] == node {
+		return t.Edges[e][1]
+	}
+	return t.Edges[e][0]
+}
+
+// apply replaces edges e1 = (u,a) and e2 = (u,b) with (u,s), (s,a), (s,b),
+// reusing an existing node when s coincides with one.
+func (t *Tree) apply(e1, e2, u int, s geom.Pt) {
+	a := t.other(e1, u)
+	b := t.other(e2, u)
+	si := -1
+	for _, cand := range [3]int{u, a, b} {
+		if t.Pts[cand] == s {
+			si = cand
+			break
+		}
+	}
+	if si == -1 {
+		si = len(t.Pts)
+		t.Pts = append(t.Pts, s)
+	}
+	// Remove e1, e2 (delete the higher index first).
+	if e1 < e2 {
+		e1, e2 = e2, e1
+	}
+	t.Edges = append(t.Edges[:e1], t.Edges[e1+1:]...)
+	t.Edges = append(t.Edges[:e2], t.Edges[e2+1:]...)
+	for _, pair := range [3][2]int{{u, si}, {si, a}, {si, b}} {
+		if pair[0] != pair[1] {
+			t.Edges = append(t.Edges, pair)
+		}
+	}
+}
+
+// LPath returns the tiles of an L-shaped route from a to b (inclusive). The
+// bend orientation is chosen deterministically from the endpoint parity so
+// that Stage-1 embeddings spread over both orientations.
+func LPath(a, b geom.Pt) []geom.Pt {
+	horizFirst := (a.X+a.Y+b.X+b.Y)%2 == 0
+	path := []geom.Pt{a}
+	cur := a
+	step := func(dx, dy int) {
+		cur = cur.Add(geom.Pt{X: dx, Y: dy})
+		path = append(path, cur)
+	}
+	walkX := func() {
+		for cur.X != b.X {
+			if b.X > cur.X {
+				step(1, 0)
+			} else {
+				step(-1, 0)
+			}
+		}
+	}
+	walkY := func() {
+		for cur.Y != b.Y {
+			if b.Y > cur.Y {
+				step(0, 1)
+			} else {
+				step(0, -1)
+			}
+		}
+	}
+	if horizFirst {
+		walkX()
+		walkY()
+	} else {
+		walkY()
+		walkX()
+	}
+	return path
+}
+
+// Embed lays the Steiner tree onto the tile grid: every tree edge becomes an
+// L-shaped tile path, paths are grafted into a single routed tree (crossing
+// an already-routed tile reconnects there), and sinkless stubs are pruned.
+// Terminal 0 is the source. sinkTiles lists the tiles of the net's sinks.
+func Embed(t *Tree, sinkTiles []geom.Pt) (*rtree.Tree, error) {
+	if t.NumTerminals == 0 {
+		return nil, fmt.Errorf("steiner: no terminals")
+	}
+	source := t.Pts[0]
+	adj := make([][]int, len(t.Pts))
+	for _, e := range t.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	parent := map[geom.Pt]geom.Pt{}
+	inTree := func(p geom.Pt) bool {
+		if p == source {
+			return true
+		}
+		_, ok := parent[p]
+		return ok
+	}
+	// BFS over Steiner nodes from the source so each edge's upstream end is
+	// already embedded when we route it.
+	visited := make([]bool, len(t.Pts))
+	visited[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if visited[m] {
+				continue
+			}
+			visited[m] = true
+			queue = append(queue, m)
+			path := LPath(t.Pts[n], t.Pts[m])
+			if !inTree(path[0]) {
+				return nil, fmt.Errorf("steiner: embedding anchor %v not in tree", path[0])
+			}
+			prev := path[0]
+			for _, tl := range path[1:] {
+				if !inTree(tl) {
+					parent[tl] = prev
+				}
+				prev = tl
+			}
+		}
+	}
+	for n, ok := range visited {
+		if !ok {
+			return nil, fmt.Errorf("steiner: node %d (%v) disconnected", n, t.Pts[n])
+		}
+	}
+	rt, err := rtree.FromParentMap(source, parent, sinkTiles)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Prune(), nil
+}
+
+// InitialRoute runs the complete Stage-1 construction for one net: the
+// Prim–Dijkstra tradeoff tree over the net's distinct pin tiles, greedy
+// overlap removal, and tile embedding.
+func InitialRoute(n *netlist.Net, alpha float64) (*rtree.Tree, error) {
+	tiles := n.Tiles()
+	par, err := spanning.Tree(tiles, alpha)
+	if err != nil {
+		return nil, fmt.Errorf("steiner: net %d: %w", n.ID, err)
+	}
+	st := RemoveOverlaps(tiles, par)
+	sinks := make([]geom.Pt, len(n.Sinks))
+	for i, s := range n.Sinks {
+		sinks[i] = s.Tile
+	}
+	rt, err := Embed(st, sinks)
+	if err != nil {
+		return nil, fmt.Errorf("steiner: net %d: %w", n.ID, err)
+	}
+	return rt, nil
+}

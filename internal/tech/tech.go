@@ -1,0 +1,115 @@
+// Package tech models the process technology used by the experiments: wire
+// parasitics per unit length and the electrical view of drivers, buffers,
+// and sinks.
+//
+// The paper embeds all benchmarks in the same 0.18 µm technology as Cong,
+// Kong, and Pan's buffer-block planning work (ICCAD-99); the parameter set
+// below is the published one from that line of work. All values use the
+// units stated in the field comments; delays computed from them come out in
+// seconds and are usually reported in picoseconds.
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech bundles the per-unit wire parasitics and the gate library used for
+// Elmore delay evaluation. The zero value is not useful; start from
+// Default018 (or build your own for a different node).
+type Tech struct {
+	// WireResPerUm is wire resistance in ohms per micrometer.
+	WireResPerUm float64
+	// WireCapPerUm is wire capacitance in farads per micrometer.
+	WireCapPerUm float64
+	// DriverRes is the output resistance of a net's source driver, in ohms.
+	DriverRes float64
+	// Buffer is the (single-size) buffer inserted on signal nets.
+	Buffer Gate
+	// SinkCap is the input capacitance presented by each sink, in farads.
+	SinkCap float64
+}
+
+// Gate is the electrical model of a buffer (or inverter) from the library:
+// a switch-level RC model with an intrinsic delay.
+type Gate struct {
+	// OutRes is the gate output resistance in ohms.
+	OutRes float64
+	// InCap is the gate input capacitance in farads.
+	InCap float64
+	// Intrinsic is the gate's intrinsic delay in seconds.
+	Intrinsic float64
+}
+
+// Default018 returns the 0.18 µm parameter set used throughout the
+// experiments: wire 0.075 Ω/µm and 0.118 fF/µm; 180 Ω driver and buffer
+// output resistance; 23.4 fF buffer input capacitance; 36.4 ps intrinsic
+// buffer delay. Sinks present one buffer input capacitance of load.
+func Default018() Tech {
+	return Tech{
+		WireResPerUm: 0.075,
+		WireCapPerUm: 0.118e-15,
+		DriverRes:    180,
+		Buffer: Gate{
+			OutRes:    180,
+			InCap:     23.4e-15,
+			Intrinsic: 36.4e-12,
+		},
+		SinkCap: 23.4e-15,
+	}
+}
+
+// DefaultLibrary018 returns a small buffer library for the 0.18 µm node:
+// the 1x planning buffer of Default018 plus 2x and 4x power-ups (output
+// resistance scales down with size, input capacitance and intrinsic delay
+// scale up mildly). The paper's buffer sites may hold "a buffer or inverter
+// with a range of power levels"; this library models that range for the
+// timing-driven re-buffering pass.
+func DefaultLibrary018() []Gate {
+	b := Default018().Buffer
+	return []Gate{
+		b,
+		{OutRes: b.OutRes / 2, InCap: b.InCap * 1.8, Intrinsic: b.Intrinsic * 1.05},
+		{OutRes: b.OutRes / 4, InCap: b.InCap * 3.2, Intrinsic: b.Intrinsic * 1.15},
+	}
+}
+
+// WireRes returns the resistance of a wire of the given length (µm).
+func (t Tech) WireRes(lenUm float64) float64 { return t.WireResPerUm * lenUm }
+
+// WireCap returns the capacitance of a wire of the given length (µm).
+func (t Tech) WireCap(lenUm float64) float64 { return t.WireCapPerUm * lenUm }
+
+// Validate reports an error when any parameter is non-positive; such a
+// technology would make every Elmore delay meaningless.
+func (t Tech) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"WireResPerUm", t.WireResPerUm},
+		{"WireCapPerUm", t.WireCapPerUm},
+		{"DriverRes", t.DriverRes},
+		{"Buffer.OutRes", t.Buffer.OutRes},
+		{"Buffer.InCap", t.Buffer.InCap},
+		{"Buffer.Intrinsic", t.Buffer.Intrinsic},
+		{"SinkCap", t.SinkCap},
+	}
+	for _, c := range checks {
+		if c.v <= 0 {
+			return fmt.Errorf("tech: %s must be positive, got %g", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// OptimalBufferDistUm returns the classical closed-form optimal distance
+// between repeaters for this technology, sqrt(2*Rb*Cb/(r*c)) with Rb, Cb the
+// buffer output resistance and input capacitance and r, c the unit wire
+// parasitics. It is used only as a sanity anchor when choosing tile-based
+// length constraints L_i; the planning algorithms themselves work purely in
+// tile units.
+func (t Tech) OptimalBufferDistUm() float64 {
+	x := 2 * t.Buffer.OutRes * t.Buffer.InCap / (t.WireResPerUm * t.WireCapPerUm)
+	return math.Sqrt(x)
+}

@@ -1,0 +1,60 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefault018Validates(t *testing.T) {
+	if err := Default018().Validate(); err != nil {
+		t.Fatalf("default tech invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	mutate := []func(*Tech){
+		func(x *Tech) { x.WireResPerUm = 0 },
+		func(x *Tech) { x.WireCapPerUm = -1 },
+		func(x *Tech) { x.DriverRes = 0 },
+		func(x *Tech) { x.Buffer.OutRes = 0 },
+		func(x *Tech) { x.Buffer.InCap = 0 },
+		func(x *Tech) { x.Buffer.Intrinsic = 0 },
+		func(x *Tech) { x.SinkCap = 0 },
+	}
+	for i, m := range mutate {
+		tt := Default018()
+		m(&tt)
+		if err := tt.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWireParasitics(t *testing.T) {
+	tt := Default018()
+	if got := tt.WireRes(1000); math.Abs(got-75) > 1e-9 {
+		t.Errorf("WireRes(1mm) = %v, want 75 ohm", got)
+	}
+	wantC := 0.118e-15 * 1000
+	if got := tt.WireCap(1000); math.Abs(got-wantC) > 1e-24 {
+		t.Errorf("WireCap(1mm) = %v, want %v", got, wantC)
+	}
+}
+
+func TestOptimalBufferDistPlausible(t *testing.T) {
+	// For 0.18um global wiring the optimal repeater spacing is on the order
+	// of a millimeter; the paper's rule-of-thumb spacings (tile units of
+	// ~0.6-1.0 mm times L_i in 5..6) bracket a few millimeters.
+	d := Default018().OptimalBufferDistUm()
+	if d < 500 || d > 5000 {
+		t.Errorf("optimal buffer distance %v um implausible for 0.18um", d)
+	}
+}
+
+func TestOptimalBufferDistFormula(t *testing.T) {
+	tt := Default018()
+	want := math.Sqrt(2 * tt.Buffer.OutRes * tt.Buffer.InCap / (tt.WireResPerUm * tt.WireCapPerUm))
+	if got := tt.OptimalBufferDistUm(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("OptimalBufferDistUm = %v, want %v", got, want)
+	}
+}

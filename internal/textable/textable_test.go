@@ -1,0 +1,52 @@
+package textable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("name", "count", "ratio")
+	tb.AddF("alpha", 12, 0.5)
+	tb.AddF("b", 3, 1.25)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("underline missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "0.50") {
+		t.Errorf("row formatting wrong: %q", lines[2])
+	}
+	// Columns right-align: the last digits of the 'count' values line up.
+	i1 := strings.Index(lines[2], "12")
+	i2 := strings.Index(lines[3], "3")
+	if i1 < 0 || i2 < 0 || i1+1 != i2 {
+		t.Errorf("numeric alignment off:\n%s", out)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows have different widths:\n%s", out)
+	}
+}
+
+func TestShortRowsPad(t *testing.T) {
+	tb := New("a", "b", "c")
+	tb.Add("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestAddFTypes(t *testing.T) {
+	tb := New("v")
+	tb.AddF(uint8(7))
+	if !strings.Contains(tb.String(), "7") {
+		t.Error("fallback formatting failed")
+	}
+}

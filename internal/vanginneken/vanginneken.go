@@ -1,0 +1,237 @@
+// Package vanginneken implements classic timing-driven buffer insertion
+// (van Ginneken, ISCAS 1990 — the paper's reference [18]) on routed trees,
+// generalized to a library of buffer sizes (Lillis-style). Section II of
+// the paper positions this as the follow-up pass: "later in the design
+// flow, when more accurate timing information is available, one can rip up
+// the buffering solution for a given net and recompute a potentially
+// better solution via a timing-driven buffering algorithm." RABID plans
+// resources with the length rule; this package re-buffers critical nets
+// for delay using whatever buffer sites remain.
+//
+// The algorithm propagates Pareto sets of (load capacitance, required
+// arrival time) options bottom-up: wires degrade RAT by their Elmore
+// delay, buffers trade load for intrinsic + drive delay, branch merges
+// cross options and keep the non-dominated frontier. Buffer candidates sit
+// at tile nodes (trunk position), matching the tile-graph granularity of
+// the planning flow; decoupling a branch is expressed by a buffer at the
+// branch's first tile.
+package vanginneken
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bufferdp"
+	"repro/internal/delay"
+	"repro/internal/rtree"
+	"repro/internal/tech"
+)
+
+// Config parameterizes one insertion run.
+type Config struct {
+	Tech   tech.Tech
+	TileUm float64
+	// Library lists the candidate buffers. Empty defaults to the single
+	// planning buffer of Tech.
+	Library []tech.Gate
+	// Allowed reports whether a buffer may be placed at route-tree node v
+	// (e.g. tiles with free buffer sites). nil allows every node.
+	Allowed func(v int) bool
+	// SinkRAT gives the required arrival time (seconds) per sink, indexed
+	// like rt.SinkNode. nil means zero for all sinks, in which case the
+	// negated root RAT is exactly the worst source-to-sink Elmore delay.
+	SinkRAT []float64
+}
+
+// Solution is the optimal buffering found.
+type Solution struct {
+	// Buffers carries the inserted buffers with their chosen gates.
+	Buffers []delay.Placed
+	// RootRAT is the required arrival time at the driver input: the slack
+	// available before the driver must switch. With zero sink RATs,
+	// -RootRAT equals the maximum source-to-sink Elmore delay.
+	RootRAT float64
+}
+
+// opt is one (cap, rat) candidate with recovery provenance.
+type opt struct {
+	cap, rat float64
+	// gate >= 0: a buffer of Library[gate] placed at this node, wrapping
+	// junction option from.
+	gate int
+	// from indexes the junction option (for entry options) or carries the
+	// merge backpointers (for junction options).
+	from int
+}
+
+// jopt is a junction option with per-merge-level backpointers.
+type jopt struct {
+	cap, rat float64
+	// choice[i] is the index of the option chosen from child i's entry
+	// list.
+	choice []int
+}
+
+// nodeState keeps what recovery needs.
+type nodeState struct {
+	entry    []opt  // options at the node's entry (after optional buffer)
+	junction []jopt // merged options at the junction (before buffer)
+}
+
+// Insert computes the delay-optimal buffering of rt under cfg.
+func Insert(rt *rtree.Tree, cfg Config) (Solution, error) {
+	if err := cfg.Tech.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if cfg.TileUm <= 0 {
+		return Solution{}, fmt.Errorf("vanginneken: tile size %g must be positive", cfg.TileUm)
+	}
+	lib := cfg.Library
+	if len(lib) == 0 {
+		lib = []tech.Gate{cfg.Tech.Buffer}
+	}
+	allowed := cfg.Allowed
+	if allowed == nil {
+		allowed = func(int) bool { return true }
+	}
+	if cfg.SinkRAT != nil && len(cfg.SinkRAT) != len(rt.SinkNode) {
+		return Solution{}, fmt.Errorf("vanginneken: %d sink RATs for %d sinks",
+			len(cfg.SinkRAT), len(rt.SinkNode))
+	}
+	wireR := cfg.Tech.WireRes(cfg.TileUm)
+	wireC := cfg.Tech.WireCap(cfg.TileUm)
+
+	// Per-node sink load and tightest sink RAT.
+	n := rt.NumNodes()
+	sinkCap := make([]float64, n)
+	sinkRAT := make([]float64, n)
+	for i := range sinkRAT {
+		sinkRAT[i] = math.Inf(1)
+	}
+	for k, s := range rt.SinkNode {
+		sinkCap[s] += cfg.Tech.SinkCap
+		r := 0.0
+		if cfg.SinkRAT != nil {
+			r = cfg.SinkRAT[k]
+		}
+		if r < sinkRAT[s] {
+			sinkRAT[s] = r
+		}
+	}
+
+	states := make([]nodeState, n)
+	for _, v := range rt.PostOrder() {
+		kids := rt.Children(v)
+		// Junction options: start from the local sink load.
+		base := jopt{cap: sinkCap[v], rat: sinkRAT[v]}
+		acc := []jopt{base}
+		for _, w := range kids {
+			// Entry options of w seen through the one-tile edge.
+			wopts := states[w].entry
+			var merged []jopt
+			for _, a := range acc {
+				for wi, o := range wopts {
+					c := o.cap + wireC
+					r := o.rat - wireR*(wireC/2+o.cap)
+					choice := append(append([]int(nil), a.choice...), wi)
+					merged = append(merged, jopt{
+						cap:    a.cap + c,
+						rat:    math.Min(a.rat, r),
+						choice: choice,
+					})
+				}
+			}
+			acc = pruneJ(merged)
+		}
+		states[v].junction = acc
+		// Entry options: pass-through plus buffered variants.
+		var entry []opt
+		for ji, j := range acc {
+			entry = append(entry, opt{cap: j.cap, rat: j.rat, gate: -1, from: ji})
+		}
+		if allowed(v) {
+			for gi, g := range lib {
+				bestJ, bestR := -1, math.Inf(-1)
+				for ji, j := range acc {
+					r := j.rat - g.Intrinsic - g.OutRes*j.cap
+					if r > bestR {
+						bestR, bestJ = r, ji
+					}
+				}
+				if bestJ >= 0 {
+					entry = append(entry, opt{cap: g.InCap, rat: bestR, gate: gi, from: bestJ})
+				}
+			}
+		}
+		states[v].entry = pruneO(entry)
+	}
+
+	// Driver: q = rat - Rd * cap over the root's entry options.
+	bestQ, bestI := math.Inf(-1), -1
+	for i, o := range states[0].entry {
+		if q := o.rat - cfg.Tech.DriverRes*o.cap; q > bestQ {
+			bestQ, bestI = q, i
+		}
+	}
+	if bestI < 0 {
+		return Solution{}, fmt.Errorf("vanginneken: no options at root")
+	}
+	sol := Solution{RootRAT: bestQ}
+	recoverEntry(rt, states, lib, 0, bestI, &sol)
+	return sol, nil
+}
+
+// recoverEntry replays an entry-option choice at node v.
+func recoverEntry(rt *rtree.Tree, states []nodeState, lib []tech.Gate, v, ei int, sol *Solution) {
+	o := states[v].entry[ei]
+	if o.gate >= 0 {
+		sol.Buffers = append(sol.Buffers, delay.Placed{
+			Buf:  bufferdp.Buffer{Node: v, Branch: -1},
+			Gate: lib[o.gate],
+		})
+	}
+	j := states[v].junction[o.from]
+	for ci, w := range rt.Children(v) {
+		recoverEntry(rt, states, lib, w, j.choice[ci], sol)
+	}
+}
+
+// pruneJ keeps the Pareto frontier of junction options (min cap for any
+// achieved rat).
+func pruneJ(in []jopt) []jopt {
+	sort.Slice(in, func(a, b int) bool {
+		if in[a].cap != in[b].cap {
+			return in[a].cap < in[b].cap
+		}
+		return in[a].rat > in[b].rat
+	})
+	var out []jopt
+	best := math.Inf(-1)
+	for _, o := range in {
+		if o.rat > best {
+			out = append(out, o)
+			best = o.rat
+		}
+	}
+	return out
+}
+
+// pruneO is pruneJ for entry options.
+func pruneO(in []opt) []opt {
+	sort.Slice(in, func(a, b int) bool {
+		if in[a].cap != in[b].cap {
+			return in[a].cap < in[b].cap
+		}
+		return in[a].rat > in[b].rat
+	})
+	var out []opt
+	best := math.Inf(-1)
+	for _, o := range in {
+		if o.rat > best {
+			out = append(out, o)
+			best = o.rat
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package vanginneken
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bufferdp"
+	"repro/internal/core"
+	"repro/internal/delay"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rtree"
+	"repro/internal/tech"
+)
+
+func pathTree(n int) *rtree.Tree {
+	parent := map[geom.Pt]geom.Pt{}
+	for x := 1; x < n; x++ {
+		parent[geom.Pt{X: x}] = geom.Pt{X: x - 1}
+	}
+	t, err := rtree.FromParentMap(geom.Pt{}, parent, []geom.Pt{{X: n - 1}})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func randomTree(r *rand.Rand, maxNodes int) *rtree.Tree {
+	parent := map[geom.Pt]geom.Pt{}
+	tiles := []geom.Pt{{}}
+	for len(tiles) < maxNodes {
+		base := tiles[r.Intn(len(tiles))]
+		d := [4]geom.Pt{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}[r.Intn(4)]
+		nxt := base.Add(d)
+		if nxt == (geom.Pt{}) {
+			continue
+		}
+		if _, ok := parent[nxt]; ok {
+			continue
+		}
+		parent[nxt] = base
+		tiles = append(tiles, nxt)
+	}
+	hasChild := map[geom.Pt]bool{}
+	for _, p := range parent {
+		hasChild[p] = true
+	}
+	var sinks []geom.Pt
+	for c := range parent {
+		if !hasChild[c] {
+			sinks = append(sinks, c)
+		}
+	}
+	if len(sinks) == 0 {
+		sinks = []geom.Pt{{}}
+	}
+	rt, err := rtree.FromParentMap(geom.Pt{}, parent, sinks)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+func cfg018(tile float64) Config {
+	return Config{Tech: tech.Default018(), TileUm: tile, Library: tech.DefaultLibrary018()}
+}
+
+func TestPredictionMatchesElmore(t *testing.T) {
+	// The DP's -RootRAT must equal the measured Elmore max delay of the
+	// recovered buffering (zero sink RATs).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rt := randomTree(r, 2+r.Intn(25))
+		cfg := cfg018(600)
+		if r.Intn(2) == 0 {
+			cfg.Allowed = func(v int) bool { return v%2 == 0 }
+		}
+		sol, err := Insert(rt, cfg)
+		if err != nil {
+			return false
+		}
+		eval, err := delay.NewEvaluator(cfg.Tech, cfg.TileUm)
+		if err != nil {
+			return false
+		}
+		ds, err := eval.SinkDelaysSized(rt, sol.Buffers)
+		if err != nil {
+			return false
+		}
+		m := 0.0
+		for _, d := range ds {
+			if d > m {
+				m = d
+			}
+		}
+		pred := -sol.RootRAT
+		return math.Abs(pred-m) <= 1e-9*math.Max(1e-12, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoBuffersWhenDisallowed(t *testing.T) {
+	rt := pathTree(20)
+	cfg := cfg018(600)
+	cfg.Allowed = func(int) bool { return false }
+	sol, err := Insert(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Buffers) != 0 {
+		t.Fatalf("buffers placed despite Allowed=false: %v", sol.Buffers)
+	}
+	eval, _ := delay.NewEvaluator(cfg.Tech, cfg.TileUm)
+	ds, err := eval.SinkDelays(rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(-sol.RootRAT-ds[0]) > 1e-20 {
+		t.Errorf("unbuffered prediction %.3g != Elmore %.3g", -sol.RootRAT, ds[0])
+	}
+}
+
+func TestBufferingImprovesLongLine(t *testing.T) {
+	rt := pathTree(30) // 17.4mm at 600um tiles
+	cfg := cfg018(600)
+	sol, err := Insert(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Buffers) == 0 {
+		t.Fatal("no buffers on an 18mm line")
+	}
+	cfgOff := cfg
+	cfgOff.Allowed = func(int) bool { return false }
+	unbuf, err := Insert(rt, cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.RootRAT <= unbuf.RootRAT {
+		t.Errorf("buffering did not improve RAT: %v vs %v", sol.RootRAT, unbuf.RootRAT)
+	}
+}
+
+func TestBiggerLibraryNeverHurts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rt := randomTree(r, 2+r.Intn(20))
+		small := cfg018(600)
+		small.Library = tech.DefaultLibrary018()[:1]
+		big := cfg018(600)
+		s1, err1 := Insert(rt, small)
+		s2, err2 := Insert(rt, big)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s2.RootRAT >= s1.RootRAT-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSinkRATsShiftSlack(t *testing.T) {
+	rt := pathTree(10)
+	cfg := cfg018(600)
+	base, err := Insert(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SinkRAT = []float64{5e-10}
+	shifted, err := Insert(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((shifted.RootRAT-base.RootRAT)-5e-10) > 1e-15 {
+		t.Errorf("RAT shift = %v, want 5e-10", shifted.RootRAT-base.RootRAT)
+	}
+	cfg.SinkRAT = []float64{1, 2}
+	if _, err := Insert(rt, cfg); err == nil {
+		t.Error("mismatched SinkRAT length accepted")
+	}
+}
+
+func TestOptimalityOnPathVsBruteForce(t *testing.T) {
+	// Exhaustive check on short paths with the 1x library: try every
+	// buffer-position subset and compare measured Elmore max delay.
+	tt := tech.Default018()
+	eval, err := delay.NewEvaluator(tt, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 2; n <= 9; n++ {
+		rt := pathTree(n)
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			var bufs []delay.Placed
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					bufs = append(bufs, delay.Placed{
+						Buf:  bufferBufAt(v),
+						Gate: tt.Buffer,
+					})
+				}
+			}
+			ds, err := eval.SinkDelaysSized(rt, bufs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ds[0] < best {
+				best = ds[0]
+			}
+		}
+		sol, err := Insert(rt, Config{Tech: tt, TileUm: 900})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := -sol.RootRAT
+		if math.Abs(got-best) > 1e-9*best {
+			t.Errorf("n=%d: DP %.4g vs brute %.4g", n, got, best)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rt := pathTree(3)
+	if _, err := Insert(rt, Config{Tech: tech.Tech{}, TileUm: 600}); err == nil {
+		t.Error("invalid tech accepted")
+	}
+	if _, err := Insert(rt, Config{Tech: tech.Default018(), TileUm: 0}); err == nil {
+		t.Error("zero tile accepted")
+	}
+}
+
+// --- retime ------------------------------------------------------------
+
+func smallCircuit(seed int64, nets, grid int) *netlist.Circuit {
+	r := rand.New(rand.NewSource(seed))
+	tileUm := 600.0
+	c := &netlist.Circuit{
+		Name: "vg", GridW: grid, GridH: grid, TileUm: tileUm,
+		BufferSites: make([]int, grid*grid),
+	}
+	for i := range c.BufferSites {
+		c.BufferSites[i] = 3
+	}
+	pin := func() netlist.Pin {
+		p := geom.FPt{X: r.Float64() * float64(grid) * tileUm, Y: r.Float64() * float64(grid) * tileUm}
+		if p.X >= c.ChipW() {
+			p.X = c.ChipW() - 1
+		}
+		if p.Y >= c.ChipH() {
+			p.Y = c.ChipH() - 1
+		}
+		return netlist.Pin{Tile: c.TileOf(p), Pos: p}
+	}
+	for i := 0; i < nets; i++ {
+		n := &netlist.Net{ID: i, Name: "n", Source: pin(), L: 4}
+		for s := 0; s <= r.Intn(2); s++ {
+			n.Sinks = append(n.Sinks, pin())
+		}
+		c.Nets = append(c.Nets, n)
+	}
+	return c
+}
+
+func TestRetimeCriticalNets(t *testing.T) {
+	c := smallCircuit(11, 25, 14)
+	res, err := core.Run(c, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := RetimeCriticalNets(res, 5, tech.DefaultLibrary018())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 5 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, r := range reports {
+		// Timing-driven insertion with a richer library must not be worse
+		// than the length-based plan on the same route.
+		if r.AfterMaxPs > r.BeforeMaxPs+1e-6 {
+			t.Errorf("net %d regressed: %.1f -> %.1f ps", r.NetIndex, r.BeforeMaxPs, r.AfterMaxPs)
+		}
+	}
+	// Buffer-site accounting stays consistent: b(v) <= B(v) everywhere.
+	g := res.Graph
+	for v := 0; v < g.NumTiles(); v++ {
+		if g.UsedSites(v) > g.Sites(v) {
+			t.Fatalf("tile %d oversubscribed after retime", v)
+		}
+	}
+	if _, err := RetimeCriticalNets(res, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// bufferBufAt builds a trunk buffer placement at node v.
+func bufferBufAt(v int) bufferdp.Buffer {
+	return bufferdp.Buffer{Node: v, Branch: -1}
+}

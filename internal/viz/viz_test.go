@@ -1,0 +1,124 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rtree"
+	"repro/internal/tile"
+)
+
+func graph(t *testing.T) *tile.Graph {
+	t.Helper()
+	sites := make([]int, 16)
+	sites[5] = 3
+	g, err := tile.New(4, 4, sites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWireHeat(t *testing.T) {
+	g := graph(t)
+	e, _ := g.EdgeBetween(geom.Pt{X: 0, Y: 0}, geom.Pt{X: 1, Y: 0})
+	g.AddWire(e)
+	g.AddWire(e)
+	g.AddWire(e) // 3/2 = 1.5, overflowing
+	heat := WireHeat(g)
+	if heat[0] != 1.5 || heat[1] != 1.5 {
+		t.Errorf("heat at edge endpoints = %v, %v, want 1.5", heat[0], heat[1])
+	}
+	if heat[15] != 0 {
+		t.Errorf("far tile heat = %v", heat[15])
+	}
+}
+
+func TestBufferHeat(t *testing.T) {
+	g := graph(t)
+	g.AddBuffer(5)
+	heat := BufferHeat(g)
+	if heat[5] != 1.0/3.0 {
+		t.Errorf("buffer heat = %v", heat[5])
+	}
+	if heat[0] != 0 {
+		t.Error("siteless tile should be 0")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	heat := []float64{0, 0.5, 1.0, 2.0, -1, 0.1}
+	out := ASCII(heat, 3, 2)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 3 {
+		t.Fatalf("dimensions wrong:\n%s", out)
+	}
+	// Top line is row y=1: values 2.0(clamped), -1(clamped 0), 0.1.
+	if lines[0][0] != '@' || lines[0][1] != ' ' {
+		t.Errorf("clamping wrong: %q", lines[0])
+	}
+	// Bottom line is row y=0: 0, 0.5, 1.0.
+	if lines[1][0] != ' ' || lines[1][2] != '@' {
+		t.Errorf("bottom row wrong: %q", lines[1])
+	}
+	if ASCII(heat, 2, 2) != "" {
+		t.Error("size mismatch should return empty")
+	}
+}
+
+func TestASCIIRampMonotone(t *testing.T) {
+	prev := -1
+	for i := 0; i <= 10; i++ {
+		v := float64(i) / 10
+		out := ASCII([]float64{v}, 1, 1)
+		idx := strings.IndexByte(ramp, out[0])
+		if idx < prev {
+			t.Fatalf("ramp not monotone at %v", v)
+		}
+		prev = idx
+	}
+}
+
+func TestSVGWellFormedAndComplete(t *testing.T) {
+	g := graph(t)
+	e, _ := g.EdgeBetween(geom.Pt{X: 1, Y: 1}, geom.Pt{X: 2, Y: 1})
+	g.AddWire(e)
+	g.AddBuffer(5)
+	c := &netlist.Circuit{
+		Name: "v", GridW: 4, GridH: 4, TileUm: 100,
+		BufferSites: make([]int, 16),
+		Blocks:      []geom.Rect{{Lo: geom.FPt{X: 50, Y: 50}, Hi: geom.FPt{X: 250, Y: 150}}},
+	}
+	rt, err := rtree.FromParentMap(geom.Pt{}, map[geom.Pt]geom.Pt{{X: 1}: {}}, []geom.Pt{{X: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := SVG(c, SVGOptions{Graph: g, Routes: []*rtree.Tree{rt, nil}})
+	for _, want := range []string{"<svg", "<rect", "<line", "<circle", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestSVGDefaultScale(t *testing.T) {
+	c := &netlist.Circuit{Name: "v", GridW: 2, GridH: 2, TileUm: 100, BufferSites: make([]int, 4)}
+	svg := SVG(c, SVGOptions{})
+	if !strings.Contains(svg, `width="24"`) {
+		t.Errorf("default 12px/tile scale missing:\n%s", svg[:100])
+	}
+}

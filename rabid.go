@@ -1,0 +1,301 @@
+// Package rabid is a from-scratch reproduction of "A Practical Methodology
+// for Early Buffer and Wire Resource Allocation" (Alpert, Hu, Sapatnekar,
+// Villarrubia; DAC 2001 / IEEE TCAD 2003): the buffer-site methodology and
+// the four-stage RABID heuristic for simultaneous early buffer and wire
+// planning on a tile graph.
+//
+// This package is the public facade over the implementation packages in
+// internal/: it re-exports the problem model (circuits, nets, tile length
+// constraints), the benchmark suite cloned from the paper's Table I, the
+// RABID pipeline, the BBP/FR comparison baseline, and the experiment
+// harness that regenerates the paper's Tables I-V.
+//
+// Quick start:
+//
+//	c, _ := rabid.GenerateBenchmark("apte", rabid.GenOptions{})
+//	res, _ := rabid.Run(c, rabid.DefaultParams())
+//	for _, s := range res.Stages {
+//	    fmt.Printf("stage %d: %d buffers, %d overflows\n", s.Stage, s.Buffers, s.Overflows)
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package rabid
+
+import (
+	"io"
+
+	"repro/internal/anneal"
+	"repro/internal/bbp"
+	"repro/internal/core"
+	"repro/internal/decap"
+	"repro/internal/delay"
+	"repro/internal/exp"
+	"repro/internal/floorplan"
+	"repro/internal/flow"
+	"repro/internal/layers"
+	"repro/internal/mcf"
+	"repro/internal/netlist"
+	"repro/internal/siteplan"
+	"repro/internal/slew"
+	"repro/internal/tech"
+	"repro/internal/textable"
+	"repro/internal/tile"
+	"repro/internal/vanginneken"
+	"repro/internal/viz"
+)
+
+// Problem model.
+type (
+	// Circuit is a complete planning instance: tiling, nets, buffer sites.
+	Circuit = netlist.Circuit
+	// Net is a multi-sink global net with a tile length constraint L.
+	Net = netlist.Net
+	// Pin is a net terminal.
+	Pin = netlist.Pin
+)
+
+// RABID pipeline.
+type (
+	// Params configures a RABID run (Prim-Dijkstra alpha, router options,
+	// rip-up passes, capacity calibration, technology).
+	Params = core.Params
+	// Result is a completed run: per-stage statistics, final routes,
+	// buffer assignments, and the tile graph.
+	Result = core.Result
+	// StageStats reports the paper's Table II columns for one stage.
+	StageStats = core.StageStats
+)
+
+// Benchmarks.
+type (
+	// Spec is one Table I benchmark description.
+	Spec = floorplan.Spec
+	// GenOptions override a Spec (grid, buffer-site budget, seed).
+	GenOptions = floorplan.Options
+)
+
+// Technology.
+type (
+	// Tech is the process model used for Elmore delay reporting.
+	Tech = tech.Tech
+	// Gate is the electrical model of a buffer.
+	Gate = tech.Gate
+)
+
+// BBPResult is the outcome of the buffer-block planning baseline.
+type BBPResult = bbp.Result
+
+// RetimeReport records the effect of timing-driven re-buffering on one net.
+type RetimeReport = vanginneken.RetimeReport
+
+// DefaultLibrary018 returns the sized buffer library (1x/2x/4x) used by
+// the timing-driven re-buffering pass.
+func DefaultLibrary018() []Gate { return tech.DefaultLibrary018() }
+
+// RetimeCriticalNets re-buffers the k worst-delay nets of a completed run
+// with delay-optimal van Ginneken insertion over the remaining free buffer
+// sites — the paper's "later in the design flow" timing-driven follow-up.
+func RetimeCriticalNets(res *Result, k int, lib []Gate) ([]RetimeReport, error) {
+	return vanginneken.RetimeCriticalNets(res, k, lib)
+}
+
+// DefaultParams returns the paper's parameter set (alpha 0.4, three rip-up
+// passes, calibrated capacities, 0.18 um technology).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Default018 returns the 0.18 um technology used by the experiments.
+func Default018() Tech { return tech.Default018() }
+
+// Run executes the four-stage RABID heuristic on a circuit.
+func Run(c *Circuit, p Params) (*Result, error) { return core.Run(c, p) }
+
+// RunBBP runs the BBP/FR baseline on a two-pin-decomposed circuit with the
+// given uniform edge capacity.
+func RunBBP(c *Circuit, capacity int, t Tech) (*BBPResult, error) {
+	return bbp.Run(c, capacity, t)
+}
+
+// Suite returns the ten benchmark specs of the paper's Table I.
+func Suite() []Spec { return floorplan.Suite() }
+
+// BenchmarkSpec looks up a suite benchmark by name.
+func BenchmarkSpec(name string) (Spec, error) { return floorplan.BySuiteName(name) }
+
+// GenerateBenchmark builds a named suite circuit (with optional overrides).
+func GenerateBenchmark(name string, opt GenOptions) (*Circuit, error) {
+	return exp.Generate(name, opt)
+}
+
+// GenerateCircuit builds a circuit from an arbitrary spec.
+func GenerateCircuit(spec Spec, opt GenOptions) (*Circuit, error) {
+	return floorplan.Generate(spec, opt)
+}
+
+// BenchmarkParams returns the RABID parameters used by the experiments for
+// a named suite circuit (per-circuit capacity calibration).
+func BenchmarkParams(name string) Params { return exp.ParamsFor(name) }
+
+// ReadCircuit deserializes and validates a circuit from JSON.
+func ReadCircuit(r io.Reader) (*Circuit, error) { return netlist.ReadJSON(r) }
+
+// --- delay, slew, and sized buffers -----------------------------------
+
+// PlacedBuffer is a buffer with an explicit gate from a library.
+type PlacedBuffer = delay.Placed
+
+// DelayEvaluator computes Elmore sink delays on buffered routed trees.
+type DelayEvaluator = delay.Evaluator
+
+// NewDelayEvaluator builds an evaluator for a technology and tile size.
+func NewDelayEvaluator(t Tech, tileUm float64) (DelayEvaluator, error) {
+	return delay.NewEvaluator(t, tileUm)
+}
+
+// SlewEvaluator computes worst 10-90% slews and derives length constraints
+// from a slew target (the physical grounding of the paper's length rule).
+type SlewEvaluator = slew.Evaluator
+
+// NewSlewEvaluator builds a slew evaluator.
+func NewSlewEvaluator(t Tech, tileUm float64) (SlewEvaluator, error) {
+	return slew.NewEvaluator(t, tileUm)
+}
+
+// --- layer assignment ---------------------------------------------------
+
+// Layer scales wire parasitics for a metal-layer pair; LayerAssignment
+// maps nets to layers with slew-derived per-layer L_i (paper footnote 4).
+type (
+	Layer           = layers.Layer
+	LayerAssignment = layers.Assignment
+)
+
+// DefaultStack018 returns the thin/thick layer stack for 0.18 um.
+func DefaultStack018() []Layer { return layers.DefaultStack018() }
+
+// PromoteLayers assigns the longest nets to thick metal within a budget
+// and rederives every net's L from the slew target on its layer.
+func PromoteLayers(c *Circuit, base Tech, stack []Layer, budgetFraction, slewTarget float64) (*LayerAssignment, error) {
+	return layers.Promote(c, base, stack, budgetFraction, slewTarget)
+}
+
+// --- site planning ------------------------------------------------------
+
+// SitePlan recommends per-block buffer-site budgets from an
+// unlimited-supply RABID run (the paper's Section I-B procedure).
+type (
+	SitePlan        = siteplan.Plan
+	SitePlanOptions = siteplan.Options
+)
+
+// PlanSites runs the unlimited-supply analysis.
+func PlanSites(c *Circuit, opt SitePlanOptions) (*SitePlan, error) {
+	return siteplan.Run(c, opt)
+}
+
+// --- floorplan annealing -------------------------------------------------
+
+// AnnealBlock, AnnealNet, and AnnealOptions parameterize the slicing
+// simulated annealer; AnnealResult is a placed floorplan.
+type (
+	AnnealBlock   = anneal.Block
+	AnnealNet     = anneal.Net
+	AnnealOptions = anneal.Options
+	AnnealResult  = anneal.Result
+)
+
+// AnnealFloorplan places blocks with the wirelength-aware slicing annealer.
+func AnnealFloorplan(blocks []AnnealBlock, nets []AnnealNet, opt AnnealOptions) (*AnnealResult, error) {
+	return anneal.Floorplan(blocks, nets, opt)
+}
+
+// --- floorplan evaluation loop ---------------------------------------------
+
+// FlowCandidate and FlowOptions drive the paper's intended use: rank
+// floorplan candidates by their post-planning metrics instead of raw,
+// meaningless pre-buffering slack.
+type (
+	FlowCandidate = flow.Candidate
+	FlowOptions   = flow.Options
+)
+
+// EvaluateFloorplans generates, plans, and ranks floorplan candidates of a
+// benchmark spec, best first.
+func EvaluateFloorplans(spec Spec, opt FlowOptions) ([]*FlowCandidate, error) {
+	return flow.EvaluateCandidates(spec, opt)
+}
+
+// --- decap / spare-cell utilization ---------------------------------------
+
+// DecapReport summarizes the unused buffer sites of a completed run as
+// decoupling capacitance and ECO spare area (Section I-B's point that
+// reserved sites are never wasted).
+type DecapReport = decap.Report
+
+// AnalyzeDecap builds the utilization report from a completed run.
+func AnalyzeDecap(res *Result) (*DecapReport, error) {
+	return decap.Analyze(res.Circuit, res.Graph)
+}
+
+// --- multicommodity-flow routing ------------------------------------------
+
+// MCFOptions and MCFResult parameterize the multicommodity-flow global
+// router (the paper's cited alternative to Stages 1-2); it can also be
+// selected inside Run via Params.UseMCFRouter.
+type (
+	MCFOptions = mcf.Options
+	MCFResult  = mcf.Result
+)
+
+// RouteMCF routes all nets with the multicommodity-flow router on a tile
+// graph built from the circuit with the given uniform capacity. Returned
+// routes are not registered on any graph.
+func RouteMCF(c *Circuit, capacity int, opt MCFOptions) (*MCFResult, error) {
+	g, err := tile.New(c.GridW, c.GridH, c.BufferSites, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return mcf.Route(g, c.Nets, opt)
+}
+
+// --- visualization -------------------------------------------------------
+
+// PlanSVG renders a completed run (blocks, congestion heat, routes,
+// buffers) as an SVG document.
+func PlanSVG(res *Result) string {
+	return viz.SVG(res.Circuit, viz.SVGOptions{Graph: res.Graph, Routes: res.Routes})
+}
+
+// CongestionASCII renders the run's per-tile wire congestion as text.
+func CongestionASCII(res *Result) string {
+	return viz.ASCII(viz.WireHeat(res.Graph), res.Circuit.GridW, res.Circuit.GridH)
+}
+
+// BufferDensityASCII renders the run's per-tile buffer occupancy as text.
+func BufferDensityASCII(res *Result) string {
+	return viz.ASCII(viz.BufferHeat(res.Graph), res.Circuit.GridW, res.Circuit.GridH)
+}
+
+// Table regenerates one of the paper's tables (1-5), logging progress to
+// log (may be nil). The returned table renders with String().
+func Table(n int, log io.Writer) (*textable.Table, error) {
+	switch n {
+	case 1:
+		return exp.Table1()
+	case 2:
+		return exp.Table2(log)
+	case 3:
+		return exp.Table3(log)
+	case 4:
+		return exp.Table4(log)
+	case 5:
+		return exp.Table5(log)
+	}
+	return nil, errUnknownTable(n)
+}
+
+type errUnknownTable int
+
+func (e errUnknownTable) Error() string {
+	return "rabid: unknown table (want 1-5)"
+}
