@@ -16,6 +16,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
+	"repro/internal/par"
 	"repro/internal/rtree"
 )
 
@@ -90,6 +91,49 @@ func BenchmarkTable5VsBBP(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := exp.RunTable5Pair(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- parallel execution layer ----------------------------------------
+
+// BenchmarkPipelineWorkers measures the deterministic worker pool on the
+// full pipeline: workers=1 is the sequential baseline, workers=0 uses all
+// CPUs. Stage-1 Steiner construction, the per-stage delay refresh, and the
+// snapshot accounting fan out; results are bit-identical for every value.
+func BenchmarkPipelineWorkers(b *testing.B) {
+	c, err := GenerateBenchmark("apte", GenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := BenchmarkParams("apte")
+			p.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(c, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSuiteFanout runs the whole ten-circuit suite (the Table II
+// workload) through the per-benchmark fan-out, sequentially and with one
+// worker per CPU.
+func BenchmarkSuiteFanout(b *testing.B) {
+	names := append(append([]string{}, exp.CBLNames...), exp.RandomNames...)
+	for _, w := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := par.ForEach(w, len(names), func(j int) error {
+					_, err := exp.RunBenchmark(names[j], floorplan.Options{})
+					return err
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -31,6 +31,7 @@ func main() {
 		twopin  = flag.Bool("twopin", false, "decompose multi-sink nets into two-pin nets before planning")
 		alpha   = flag.Float64("alpha", 0.4, "Prim-Dijkstra radius/wirelength tradeoff")
 		passes  = flag.Int("passes", 3, "maximum Stage-2 rip-up-and-reroute passes")
+		workers = flag.Int("workers", 0, "worker goroutines for the per-net stages (0 = all CPUs; results are identical for every value)")
 		svgOut  = flag.String("svg", "", "write an SVG of the final plan (blocks, congestion, routes, buffers)")
 		heat    = flag.Bool("heat", false, "print ASCII wire-congestion and buffer-density maps")
 		anneal  = flag.Bool("annealed", false, "place benchmark blocks with the simulated annealer instead of guillotine packing")
@@ -38,13 +39,13 @@ func main() {
 		retime  = flag.Int("retime", 0, "after planning, re-buffer the N most critical nets with the timing-driven pass")
 	)
 	flag.Parse()
-	if err := run(*bench, *circuit, *grid, *sites, *seed, *anneal, *twopin, *alpha, *passes, *svgOut, *heat, *jsonOut, *retime); err != nil {
+	if err := run(*bench, *circuit, *grid, *sites, *seed, *anneal, *twopin, *alpha, *passes, *workers, *svgOut, *heat, *jsonOut, *retime); err != nil {
 		fmt.Fprintln(os.Stderr, "rabid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, circuitPath, grid string, sites int, seed int64, annealed, twopin bool, alpha float64, passes int, svgOut string, heat bool, jsonOut string, retime int) error {
+func run(bench, circuitPath, grid string, sites int, seed int64, annealed, twopin bool, alpha float64, passes, workers int, svgOut string, heat bool, jsonOut string, retime int) error {
 	c, params, err := load(bench, circuitPath, grid, sites, seed, annealed)
 	if err != nil {
 		return err
@@ -52,6 +53,7 @@ func run(bench, circuitPath, grid string, sites int, seed int64, annealed, twopi
 	params.Alpha = alpha
 	params.RouteOpt.Alpha = alpha
 	params.MaxRipupPasses = passes
+	params.Workers = workers
 	if twopin {
 		c = c.DecomposeTwoPin()
 	}

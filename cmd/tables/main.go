@@ -14,6 +14,7 @@ import (
 	"os"
 
 	rabid "repro"
+	"repro/internal/exp"
 )
 
 var titles = map[int]string{
@@ -25,8 +26,12 @@ var titles = map[int]string{
 }
 
 func main() {
-	var table = flag.Int("table", 0, "table number 1-5 (0 = all)")
+	var (
+		table   = flag.Int("table", 0, "table number 1-5 (0 = all)")
+		workers = flag.Int("workers", 0, "concurrent benchmark runs per table (0 = all CPUs; tables are identical for every value)")
+	)
 	flag.Parse()
+	exp.Workers = *workers
 	which := []int{1, 2, 3, 4, 5}
 	if *table != 0 {
 		which = []int{*table}

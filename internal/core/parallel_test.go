@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bufferdp"
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/rtree"
+)
+
+// newTestState builds a pipeline state directly (as Run does) and executes
+// Stage 1, so tests can drive individual stages and error paths.
+func newTestState(t *testing.T, c *netlist.Circuit, p Params) *state {
+	t.Helper()
+	eval, err := delay.NewEvaluator(p.Tech, c.TileUm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &state{
+		c:        c,
+		p:        p,
+		eval:     eval,
+		routes:   make([]*rtree.Tree, len(c.Nets)),
+		asg:      make([]bufferdp.Assignment, len(c.Nets)),
+		hasAsg:   make([]bool, len(c.Nets)),
+		bufTiles: make([][]int, len(c.Nets)),
+		delays:   make([]float64, len(c.Nets)),
+	}
+	if err := s.stage1(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRefreshDelaysPropagatesEvaluatorError is the regression test for the
+// silent-failure bug: a net whose buffer assignment no longer matches its
+// route used to be recorded with delay 0 (sorting as the *least* critical
+// net); the evaluator error must now surface and the net must sort
+// deterministically as the most critical (+Inf).
+func TestRefreshDelaysPropagatesEvaluatorError(t *testing.T) {
+	c := smallCircuit(t, 21, 6, 8, 8, 2, 3)
+	s := newTestState(t, c, DefaultParams())
+	// Corrupt net 0: a buffer on a node the route does not have.
+	s.hasAsg[0] = true
+	s.asg[0] = bufferdp.Assignment{Buffers: []bufferdp.Buffer{{Node: 1 << 20, Branch: -1}}}
+	err := s.refreshDelays()
+	if err == nil {
+		t.Fatal("evaluator failure swallowed")
+	}
+	if !strings.Contains(err.Error(), "net 0") {
+		t.Errorf("error does not name the broken net: %v", err)
+	}
+	if !math.IsInf(s.delays[0], 1) {
+		t.Errorf("broken net delay = %v, want +Inf (most critical)", s.delays[0])
+	}
+	// The healthy nets must still have been refreshed despite the failure.
+	for i := 1; i < len(s.delays); i++ {
+		if s.delays[i] <= 0 || math.IsInf(s.delays[i], 0) {
+			t.Errorf("healthy net %d delay %v not refreshed", i, s.delays[i])
+		}
+	}
+	// And the broken net orders last in ascending (Stage-2/4) order, first
+	// in descending (Stage-3) order — deterministically.
+	asc := s.orderByDelay(false)
+	if asc[len(asc)-1] != 0 {
+		t.Errorf("broken net not last in ascending order: %v", asc)
+	}
+	desc := s.orderByDelay(true)
+	if desc[0] != 0 {
+		t.Errorf("broken net not first in descending order: %v", desc)
+	}
+}
+
+// TestRefreshDelaysReportsAllBrokenNets: partial failures are collected,
+// not cut short at the first broken net.
+func TestRefreshDelaysReportsAllBrokenNets(t *testing.T) {
+	c := smallCircuit(t, 22, 6, 8, 8, 2, 3)
+	s := newTestState(t, c, DefaultParams())
+	for _, i := range []int{1, 4} {
+		s.hasAsg[i] = true
+		s.asg[i] = bufferdp.Assignment{Buffers: []bufferdp.Buffer{{Node: 1 << 20, Branch: -1}}}
+	}
+	err := s.refreshDelays()
+	if err == nil {
+		t.Fatal("evaluator failures swallowed")
+	}
+	for _, want := range []string{"net 1", "net 4"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestStage3RejectsNonPositiveL is the regression test for the demand-term
+// poisoning bug: 1/float64(0) is +Inf, which would contaminate p(v) on
+// every tile the net crosses. Circuit.Validate rejects such circuits at
+// Run's entry; stage3 must also refuse if reached directly.
+func TestStage3RejectsNonPositiveL(t *testing.T) {
+	c := smallCircuit(t, 23, 4, 8, 8, 2, 3)
+	s := newTestState(t, c, DefaultParams())
+	s.c.Nets[2].L = 0
+	if err := s.stage3(); err == nil {
+		t.Fatal("stage 3 accepted a net with L=0")
+	} else if !strings.Contains(err.Error(), "demand term") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestReworkNetRestoresOnFailedReconnection covers Stage 4's
+// restore-on-failed-reconnection branch: when BufferAwarePath cannot
+// produce a reconnection (here: the net's L makes the DP state space
+// overflow its int32 labels, so every attempt errors), the old route and
+// its registered wire usage must be restored untouched.
+func TestReworkNetRestoresOnFailedReconnection(t *testing.T) {
+	c := smallCircuit(t, 24, 4, 8, 8, 2, 3)
+	s := newTestState(t, c, DefaultParams())
+	s.c.Nets[0].L = math.MaxInt32 // 64 tiles * MaxInt32 >> int32 state labels
+	before := make([]int, s.g.NumEdges())
+	for e := range before {
+		before[e] = s.g.Usage(e)
+	}
+	oldRoute := s.routes[0]
+	if err := s.reworkNet(0); err != nil {
+		t.Fatalf("failed reconnections must be skipped, not fatal: %v", err)
+	}
+	if s.routes[0] != oldRoute {
+		t.Error("route replaced although every reconnection failed")
+	}
+	for e := range before {
+		if got := s.g.Usage(e); got != before[e] {
+			t.Fatalf("edge %d usage %d, want %d: wire accounting corrupted by failed rework", e, got, before[e])
+		}
+	}
+}
+
+// TestWorkersDeterminismCore proves the tentpole guarantee at the core
+// level: every Workers value yields bit-identical stage statistics, routes,
+// and buffer assignments.
+func TestWorkersDeterminismCore(t *testing.T) {
+	c := smallCircuit(t, 25, 30, 12, 12, 3, 4)
+	run := func(workers int) *Result {
+		p := DefaultParams()
+		p.Workers = workers
+		res, err := Run(c, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 0} {
+		got := run(w)
+		if got.Capacity != ref.Capacity {
+			t.Fatalf("workers=%d: capacity %d vs %d", w, got.Capacity, ref.Capacity)
+		}
+		for si := range ref.Stages {
+			a, b := ref.Stages[si], got.Stages[si]
+			a.CPU, b.CPU = 0, 0
+			if a != b {
+				t.Fatalf("workers=%d: stage %d stats differ:\n  seq: %+v\n  par: %+v", w, si+1, a, b)
+			}
+		}
+		for i := range ref.Routes {
+			if ra, rb := ref.Routes[i], got.Routes[i]; ra.NumNodes() != rb.NumNodes() {
+				t.Fatalf("workers=%d: net %d route differs", w, i)
+			}
+			ab, bb := ref.Assignments[i].Buffers, got.Assignments[i].Buffers
+			if len(ab) != len(bb) {
+				t.Fatalf("workers=%d: net %d buffer count differs", w, i)
+			}
+			for k := range ab {
+				if ab[k] != bb[k] {
+					t.Fatalf("workers=%d: net %d buffer %d differs", w, i, k)
+				}
+			}
+		}
+	}
+}

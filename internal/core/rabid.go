@@ -24,6 +24,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mcf"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/route"
 	"repro/internal/rtree"
 	"repro/internal/steiner"
@@ -56,6 +57,13 @@ type Params struct {
 	// multicommodity-flow global router — the alternative the paper names
 	// ("e.g., the multicommodity flow-based approach of [1]").
 	UseMCFRouter bool
+	// Workers bounds the goroutines used for the order-independent per-net
+	// work: Stage-1 Steiner construction, the delay refresh after every
+	// stage, and the per-net snapshot accounting. 0 (the default) means
+	// GOMAXPROCS. Results are bit-identical for every value — workers write
+	// only to their own net's slot and all shared tile-graph mutation stays
+	// sequential (see DESIGN.md, "Parallel execution model").
+	Workers int
 }
 
 // DefaultParams returns the paper's parameter set.
@@ -178,13 +186,19 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 }
 
 // stage1 builds the initial Steiner routes and the calibrated tile graph.
+// Route construction is pure per-net work and fans out over the worker
+// pool; the capacity calibration and usage registration that follow mutate
+// the shared graph and stay sequential.
 func (s *state) stage1() error {
-	for i, n := range s.c.Nets {
-		rt, err := steiner.InitialRoute(n, s.p.Alpha)
+	if err := par.ForEach(s.p.Workers, len(s.c.Nets), func(i int) error {
+		rt, err := steiner.InitialRoute(s.c.Nets[i], s.p.Alpha)
 		if err != nil {
 			return err
 		}
 		s.routes[i] = rt
+		return nil
+	}); err != nil {
+		return err
 	}
 	// Register usage on a provisional graph to calibrate capacity.
 	prov, err := tile.New(s.c.GridW, s.c.GridH, s.c.BufferSites, 1)
@@ -209,8 +223,7 @@ func (s *state) stage1() error {
 	for _, rt := range s.routes {
 		route.AddUsage(s.g, rt)
 	}
-	s.refreshDelays()
-	return nil
+	return s.refreshDelays()
 }
 
 // stage2 reduces wire congestion by whole-net rip-up and reroute, or by
@@ -226,19 +239,25 @@ func (s *state) stage2() error {
 			s.routes[i] = rt
 			route.AddUsage(s.g, rt)
 		}
-		s.refreshDelays()
-		return nil
+		return s.refreshDelays()
 	}
 	order := s.orderByDelay(false) // smallest delay first
 	if _, err := route.ReduceCongestion(s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, s.p.RouteOpt); err != nil {
 		return err
 	}
-	s.refreshDelays()
-	return nil
+	return s.refreshDelays()
 }
 
 // stage3 assigns buffer sites to every net with the length-based DP.
 func (s *state) stage3() error {
+	// Defense in depth behind Circuit.Validate: a net with L < 1 would
+	// contribute 1/L = +Inf (or negative) demand to every tile it crosses,
+	// poisoning the Eq. (2) site cost for all later nets.
+	for i := range s.c.Nets {
+		if L := s.c.Nets[i].L; L < 1 {
+			return fmt.Errorf("core: net %d: length constraint %d < 1 would poison the demand term", s.c.Nets[i].ID, L)
+		}
+	}
 	// Prime the demand term p(v): every unprocessed net contributes 1/L to
 	// each tile its route crosses.
 	if !s.p.DisableDemandTerm {
@@ -255,8 +274,7 @@ func (s *state) stage3() error {
 			return err
 		}
 	}
-	s.refreshDelays()
-	return nil
+	return s.refreshDelays()
 }
 
 // assignNet runs the DP for net i on its current route and commits the
@@ -330,8 +348,7 @@ func (s *state) stage4() error {
 			return err
 		}
 	}
-	s.refreshDelays()
-	return nil
+	return s.refreshDelays()
 }
 
 // reworkNet reroutes net i one two-path at a time.
@@ -439,17 +456,25 @@ func (s *state) addDemand(rt *rtree.Tree, d float64) {
 	}
 }
 
-// refreshDelays recomputes the per-net maximum sink delay.
-func (s *state) refreshDelays() {
-	for i, rt := range s.routes {
+// refreshDelays recomputes the per-net maximum sink delay over the worker
+// pool (each worker writes only its own net's slot).
+//
+// An evaluator failure means the net's route or buffer assignment is
+// structurally broken, so it is propagated — never swallowed: recording 0
+// would make a broken net sort as the *least* critical net in the Stage-3
+// ordering. The broken net's delay is set to +Inf first, so that even a
+// caller that ignores the error orders such nets deterministically as the
+// most critical. All broken nets are reported, joined in net-index order.
+func (s *state) refreshDelays() error {
+	return par.ForEach(s.p.Workers, len(s.routes), func(i int) error {
 		var bufs []bufferdp.Buffer
 		if s.hasAsg[i] {
 			bufs = s.asg[i].Buffers
 		}
-		ds, err := s.eval.SinkDelays(rt, bufs)
+		ds, err := s.eval.SinkDelays(s.routes[i], bufs)
 		if err != nil {
-			s.delays[i] = 0
-			continue
+			s.delays[i] = math.Inf(1)
+			return fmt.Errorf("core: net %d: delay evaluation: %w", s.c.Nets[i].ID, err)
 		}
 		m := 0.0
 		for _, d := range ds {
@@ -458,7 +483,8 @@ func (s *state) refreshDelays() {
 			}
 		}
 		s.delays[i] = m
-	}
+		return nil
+	})
 }
 
 // orderByDelay returns net indices sorted by current delay.
@@ -489,24 +515,44 @@ func (s *state) snapshot(stage int) StageStats {
 		BufAvg:    bs.Avg,
 		Buffers:   bs.Buffers,
 	}
-	var dst delay.Stats
-	wireTiles := 0
-	for i, rt := range s.routes {
-		wireTiles += rt.NumEdges()
+	// The per-net accounting (dominated by the Elmore evaluation) fans out
+	// over the worker pool into per-net slots; the floating-point delay
+	// reduction below runs sequentially in net-index order so the stats are
+	// bit-identical for every worker count.
+	type netAcct struct {
+		edges int
+		fail  bool
+		ds    []float64
+	}
+	accts := make([]netAcct, len(s.routes))
+	_ = par.ForEach(s.p.Workers, len(s.routes), func(i int) error {
+		rt := s.routes[i]
+		a := &accts[i]
+		a.edges = rt.NumEdges()
 		var bufs []bufferdp.Buffer
 		if s.hasAsg[i] {
 			bufs = s.asg[i].Buffers
 			if !s.asg[i].Feasible() {
-				st.Fails++
+				a.fail = true
 			}
 		} else if rt.NumEdges() > s.c.Nets[i].L {
 			// Before buffering, a net fails whenever its driver would have
 			// to drive more than L tile units on its own.
-			st.Fails++
+			a.fail = true
 		}
 		if ds, err := s.eval.SinkDelays(rt, bufs); err == nil {
-			dst.Add(ds)
+			a.ds = ds
 		}
+		return nil
+	})
+	var dst delay.Stats
+	wireTiles := 0
+	for i := range accts {
+		wireTiles += accts[i].edges
+		if accts[i].fail {
+			st.Fails++
+		}
+		dst.Add(accts[i].ds)
 	}
 	st.WirelenMm = float64(wireTiles) * s.c.TileUm / 1000
 	st.MaxDelayPs = dst.MaxPs()

@@ -7,13 +7,22 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/bbp"
 	"repro/internal/core"
 	"repro/internal/floorplan"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/textable"
 )
+
+// Workers bounds the concurrent benchmark runs of the TableN functions
+// (the per-benchmark fan-out); 0 means GOMAXPROCS. Results are collected
+// into per-job slots and rows are always rendered in suite order after the
+// fan-out completes, so the tables are identical for every value — only
+// the progress-log order varies.
+var Workers int
 
 // CBLNames are the six CBL/MCNC circuits reported stage by stage in
 // Table II; RandomNames are the four random circuits reported cumulatively.
@@ -58,23 +67,42 @@ func RunBenchmark(name string, opt floorplan.Options) (*core.Result, error) {
 	return core.Run(c, ParamsFor(name))
 }
 
-func logf(w io.Writer, format string, args ...interface{}) {
-	if w != nil {
-		fmt.Fprintf(w, format, args...)
+// lockedLog serializes progress logging from the concurrent benchmark
+// runs; the writer (usually stderr) need not be safe for concurrent use.
+type lockedLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedLog) logf(format string, args ...interface{}) {
+	if l.w == nil {
+		return
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, format, args...)
 }
 
 // Table1 renders the benchmark statistics and parameters (paper Table I).
 // It reports the generated circuits' actual statistics, which match the
 // specs by construction.
 func Table1() (*textable.Table, error) {
+	specs := floorplan.Suite()
+	circuits := make([]*netlist.Circuit, len(specs))
+	if err := par.ForEach(Workers, len(specs), func(i int) error {
+		c, err := floorplan.Generate(specs[i], floorplan.Options{})
+		if err != nil {
+			return fmt.Errorf("table1: %s: %w", specs[i].Name, err)
+		}
+		circuits[i] = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	t := textable.New("circuit", "cells", "nets", "pads", "sinks",
 		"grid", "tile(mm2)", "L", "buffer sites", "%chip area")
-	for _, spec := range floorplan.Suite() {
-		c, err := floorplan.Generate(spec, floorplan.Options{})
-		if err != nil {
-			return nil, err
-		}
+	for i, spec := range specs {
+		c := circuits[i]
 		t.AddF(spec.Name, len(c.Blocks), len(c.Nets), c.NumPads, c.TotalSinks(),
 			fmt.Sprintf("%dx%d", c.GridW, c.GridH), spec.TileMm, spec.L,
 			c.TotalBufferSites(), spec.SitePercentOfChip())
@@ -98,22 +126,28 @@ func stageHeader() *textable.Table {
 // Table2 runs the full suite: the six CBL circuits stage by stage plus the
 // four random circuits' final results (paper Table II).
 func Table2(log io.Writer) (*textable.Table, error) {
-	t := stageHeader()
-	for _, name := range CBLNames {
-		logf(log, "table2: %s\n", name)
-		res, err := RunBenchmark(name, floorplan.Options{})
+	names := append(append([]string{}, CBLNames...), RandomNames...)
+	results := make([]*core.Result, len(names))
+	ll := &lockedLog{w: log}
+	if err := par.ForEach(Workers, len(names), func(i int) error {
+		res, err := RunBenchmark(names[i], floorplan.Options{})
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("table2: %s: %w", names[i], err)
 		}
-		for _, s := range res.Stages {
-			addStageCells(t, name, fmt.Sprintf("%d", s.Stage), s)
-		}
+		ll.logf("table2: %s\n", names[i])
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for _, name := range RandomNames {
-		logf(log, "table2: %s\n", name)
-		res, err := RunBenchmark(name, floorplan.Options{})
-		if err != nil {
-			return nil, err
+	t := stageHeader()
+	for i, name := range names {
+		res := results[i]
+		if i < len(CBLNames) {
+			for _, s := range res.Stages {
+				addStageCells(t, name, fmt.Sprintf("%d", s.Stage), s)
+			}
+			continue
 		}
 		final := res.Stages[len(res.Stages)-1]
 		// The paper reports cumulative CPU over all four stages.
@@ -138,25 +172,42 @@ var table3Sites = map[string][3]int{
 // Table3 varies the number of available buffer sites on the CBL circuits
 // (paper Table III). Rows report final (post-Stage-4) results.
 func Table3(log io.Writer) (*textable.Table, error) {
-	t := textable.New("circuit", "sites", "wc max", "wc avg", "overflow",
-		"bc max", "bc avg", "#bufs", "#fails", "wl(mm)", "dmax(ps)", "davg(ps)", "cpu(s)")
+	type job struct {
+		name  string
+		sites int
+	}
+	var jobs []job
 	for _, name := range CBLNames {
 		for _, sites := range table3Sites[name] {
-			logf(log, "table3: %s sites=%d\n", name, sites)
-			res, err := RunBenchmark(name, floorplan.Options{Sites: sites})
-			if err != nil {
-				return nil, err
-			}
-			final := res.Stages[len(res.Stages)-1]
-			var cpu float64
-			for _, s := range res.Stages {
-				cpu += s.CPU.Seconds()
-			}
-			t.AddF(name, sites, final.WireMax, final.WireAvg, final.Overflows,
-				final.BufMax, final.BufAvg, final.Buffers, final.Fails,
-				int(final.WirelenMm+0.5), int(final.MaxDelayPs+0.5), int(final.AvgDelayPs+0.5),
-				fmt.Sprintf("%.1f", cpu))
+			jobs = append(jobs, job{name, sites})
 		}
+	}
+	results := make([]*core.Result, len(jobs))
+	ll := &lockedLog{w: log}
+	if err := par.ForEach(Workers, len(jobs), func(i int) error {
+		res, err := RunBenchmark(jobs[i].name, floorplan.Options{Sites: jobs[i].sites})
+		if err != nil {
+			return fmt.Errorf("table3: %s sites=%d: %w", jobs[i].name, jobs[i].sites, err)
+		}
+		ll.logf("table3: %s sites=%d\n", jobs[i].name, jobs[i].sites)
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t := textable.New("circuit", "sites", "wc max", "wc avg", "overflow",
+		"bc max", "bc avg", "#bufs", "#fails", "wl(mm)", "dmax(ps)", "davg(ps)", "cpu(s)")
+	for i, j := range jobs {
+		res := results[i]
+		final := res.Stages[len(res.Stages)-1]
+		var cpu float64
+		for _, s := range res.Stages {
+			cpu += s.CPU.Seconds()
+		}
+		t.AddF(j.name, j.sites, final.WireMax, final.WireAvg, final.Overflows,
+			final.BufMax, final.BufAvg, final.Buffers, final.Fails,
+			int(final.WirelenMm+0.5), int(final.MaxDelayPs+0.5), int(final.AvgDelayPs+0.5),
+			fmt.Sprintf("%.1f", cpu))
 	}
 	return t, nil
 }
@@ -174,26 +225,44 @@ var Table4Names = []string{"apte", "ami49", "playout"}
 // Table4 varies the grid size at a constant buffer-site budget (paper
 // Table IV).
 func Table4(log io.Writer) (*textable.Table, error) {
-	t := textable.New("circuit", "grid", "wc max", "wc avg", "overflow",
-		"bc max", "bc avg", "#bufs", "#fails", "wl(mm)", "dmax(ps)", "davg(ps)", "cpu(s)")
+	type job struct {
+		name string
+		grid [2]int
+	}
+	var jobs []job
 	for _, name := range Table4Names {
 		for _, g := range table4Grids[name] {
-			logf(log, "table4: %s grid=%dx%d\n", name, g[0], g[1])
-			res, err := RunBenchmark(name, floorplan.Options{GridW: g[0], GridH: g[1]})
-			if err != nil {
-				return nil, err
-			}
-			final := res.Stages[len(res.Stages)-1]
-			var cpu float64
-			for _, s := range res.Stages {
-				cpu += s.CPU.Seconds()
-			}
-			t.AddF(name, fmt.Sprintf("%dx%d", g[0], g[1]),
-				final.WireMax, final.WireAvg, final.Overflows,
-				final.BufMax, final.BufAvg, final.Buffers, final.Fails,
-				int(final.WirelenMm+0.5), int(final.MaxDelayPs+0.5), int(final.AvgDelayPs+0.5),
-				fmt.Sprintf("%.1f", cpu))
+			jobs = append(jobs, job{name, g})
 		}
+	}
+	results := make([]*core.Result, len(jobs))
+	ll := &lockedLog{w: log}
+	if err := par.ForEach(Workers, len(jobs), func(i int) error {
+		g := jobs[i].grid
+		res, err := RunBenchmark(jobs[i].name, floorplan.Options{GridW: g[0], GridH: g[1]})
+		if err != nil {
+			return fmt.Errorf("table4: %s grid=%dx%d: %w", jobs[i].name, g[0], g[1], err)
+		}
+		ll.logf("table4: %s grid=%dx%d\n", jobs[i].name, g[0], g[1])
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t := textable.New("circuit", "grid", "wc max", "wc avg", "overflow",
+		"bc max", "bc avg", "#bufs", "#fails", "wl(mm)", "dmax(ps)", "davg(ps)", "cpu(s)")
+	for i, j := range jobs {
+		res := results[i]
+		final := res.Stages[len(res.Stages)-1]
+		var cpu float64
+		for _, s := range res.Stages {
+			cpu += s.CPU.Seconds()
+		}
+		t.AddF(j.name, fmt.Sprintf("%dx%d", j.grid[0], j.grid[1]),
+			final.WireMax, final.WireAvg, final.Overflows,
+			final.BufMax, final.BufAvg, final.Buffers, final.Fails,
+			int(final.WirelenMm+0.5), int(final.MaxDelayPs+0.5), int(final.AvgDelayPs+0.5),
+			fmt.Sprintf("%.1f", cpu))
 	}
 	return t, nil
 }
@@ -240,14 +309,24 @@ func RunTable5Pair(name string) (*Table5Pair, error) {
 // Table5 compares RABID with the BBP/FR baseline on all ten circuits
 // (paper Table V).
 func Table5(log io.Writer) (*textable.Table, error) {
+	specs := floorplan.Suite()
+	pairs := make([]*Table5Pair, len(specs))
+	ll := &lockedLog{w: log}
+	if err := par.ForEach(Workers, len(specs), func(i int) error {
+		pair, err := RunTable5Pair(specs[i].Name)
+		if err != nil {
+			return fmt.Errorf("table5: %s: %w", specs[i].Name, err)
+		}
+		ll.logf("table5: %s\n", specs[i].Name)
+		pairs[i] = pair
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	t := textable.New("circuit", "algorithm", "wc max", "wc avg", "overflow",
 		"#bufs", "MTAP(%)", "wl(mm)", "dmax(ps)", "davg(ps)", "cpu(s)")
-	for _, spec := range floorplan.Suite() {
-		logf(log, "table5: %s\n", spec.Name)
-		pair, err := RunTable5Pair(spec.Name)
-		if err != nil {
-			return nil, err
-		}
+	for i, spec := range specs {
+		pair := pairs[i]
 		b := pair.Bbp
 		t.AddF(spec.Name, "BBP/FR", b.WireMax, b.WireAvg, b.Overflows,
 			b.Buffers, b.MTAP, int(b.WirelenMm+0.5),

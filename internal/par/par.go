@@ -1,0 +1,81 @@
+// Package par provides the deterministic bounded worker pool behind the
+// order-independent per-net stages of the RABID pipeline (Stage-1 Steiner
+// construction, per-net delay refresh, snapshot accounting) and the
+// per-benchmark fan-out of the experiment suite.
+//
+// The contract that keeps parallel runs bit-identical to sequential ones:
+// work item i writes only to its own slot of any shared slice, every
+// shared structure that is mutated (the tile graph, the stage orderings)
+// stays in sequential sections, and any floating-point reduction over the
+// per-item results is performed by the caller in index order after ForEach
+// returns. See DESIGN.md, "Parallel execution model".
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values below 1 mean
+// runtime.GOMAXPROCS(0), i.e. one worker per available CPU.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Workers(workers)
+// goroutines and waits for all of them to finish. Every index runs
+// regardless of other indices failing: per-index errors are collected and
+// returned joined in index order (errors.Join), so partial failures
+// surface instead of being dropped. A panic inside fn is captured and
+// reported as that index's error, so one bad item cannot tear down the
+// whole pool. With a single worker (or a single item) fn runs inline on
+// the calling goroutine in index order.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = capture(i, fn)
+		}
+		return errors.Join(errs...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = capture(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// capture invokes fn(i), converting a panic into an error.
+func capture(i int, fn func(int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: item %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}

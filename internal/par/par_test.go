@@ -1,0 +1,164 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 5, 64} {
+		n := 37
+		counts := make([]atomic.Int32, n)
+		if err := ForEach(w, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called with zero items")
+	}
+}
+
+// TestForEachCollectsAllErrors proves partial failures are never dropped:
+// every failing index appears in the joined error, in index order.
+func TestForEachCollectsAllErrors(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		err := ForEach(w, 10, func(i int) error {
+			if i%3 == 0 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", w)
+		}
+		msg := err.Error()
+		for _, want := range []string{"item 0 failed", "item 3 failed", "item 6 failed", "item 9 failed"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("workers=%d: joined error missing %q:\n%s", w, want, msg)
+			}
+		}
+		if i0, i9 := strings.Index(msg, "item 0"), strings.Index(msg, "item 9"); i0 > i9 {
+			t.Errorf("workers=%d: errors not in index order:\n%s", w, msg)
+		}
+	}
+}
+
+// TestForEachSurvivesFailures: indices after a failing one still run.
+func TestForEachSurvivesFailures(t *testing.T) {
+	n := 20
+	ran := make([]atomic.Bool, n)
+	err := ForEach(2, n, func(i int) error {
+		ran[i].Store(true)
+		if i == 0 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Errorf("index %d skipped after earlier failure", i)
+		}
+	}
+}
+
+func TestForEachPanicBecomesError(t *testing.T) {
+	for _, w := range []int{1, 3} {
+		err := ForEach(w, 5, func(i int) error {
+			if i == 2 {
+				panic("exploded")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "item 2 panicked: exploded") {
+			t.Errorf("workers=%d: panic not captured: %v", w, err)
+		}
+	}
+}
+
+// TestForEachBoundsConcurrency checks the pool never exceeds the
+// requested worker count.
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	gate := make(chan struct{})
+	go func() {
+		// Release everyone once the test has had a chance to pile up.
+		for i := 0; i < 100; i++ {
+			gate <- struct{}{}
+		}
+	}()
+	if err := ForEach(workers, 100, func(i int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		<-gate
+		cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Errorf("observed %d concurrent items, worker bound is %d", m, workers)
+	}
+}
+
+// TestForEachDeterministicResults: per-slot writes give identical results
+// for any worker count — the property the pipeline's determinism rests on.
+func TestForEachDeterministicResults(t *testing.T) {
+	n := 101
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = float64(i*i%17) / 3.0
+	}
+	for _, w := range []int{1, 2, 8, 0} {
+		out := make([]float64, n)
+		if err := ForEach(w, n, func(i int) error {
+			out[i] = float64(i*i%17) / 3.0
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %v, want %v", w, i, out[i], ref[i])
+			}
+		}
+	}
+}

@@ -233,6 +233,13 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.
 		return nil, fmt.Errorf("route: endpoints %v,%v outside grid", tail, head)
 	}
 	nt := g.NumTiles()
+	// The (tile, j) state space is indexed by int32 predecessor labels; a
+	// large grid times a large L would silently wrap the labels and corrupt
+	// the traceback, so the size is guarded up front (before allocation).
+	if int64(nt)*int64(L) > math.MaxInt32 {
+		return nil, fmt.Errorf("route: DP state space %d tiles x L=%d = %d exceeds %d states",
+			nt, L, int64(nt)*int64(L), int64(math.MaxInt32))
+	}
 	size := nt * L
 	dist := make([]float64, size)
 	pred := make([]int32, size)

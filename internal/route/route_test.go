@@ -1,6 +1,7 @@
 package route
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -280,6 +281,31 @@ func TestBufferAwarePathBadArgs(t *testing.T) {
 	}
 	if _, err := BufferAwarePath(g, geom.Pt{X: 9, Y: 9}, geom.Pt{}, 2, nil, DefaultOptions()); err == nil {
 		t.Error("off-grid tail accepted")
+	}
+}
+
+// TestBufferAwarePathStateOverflowGuard probes the exact int32 boundary of
+// the (tile, j) DP state space. NumTiles()*L one past math.MaxInt32 used to
+// silently wrap the int32 predecessor labels and corrupt the traceback; it
+// must now be rejected, and rejected *before* any state array is allocated
+// (a 2^31-state allocation would be tens of gigabytes — if the guard ran
+// after the allocation this test would OOM instead of passing).
+func TestBufferAwarePathStateOverflowGuard(t *testing.T) {
+	g := grid(t, 2, 2, 2) // 4 tiles
+	overL := math.MaxInt32/4 + 1
+	if int64(4)*int64(overL) != int64(math.MaxInt32)+1 {
+		t.Fatalf("bad boundary arithmetic: 4*%d", overL)
+	}
+	if _, err := BufferAwarePath(g, geom.Pt{}, geom.Pt{X: 1}, overL, nil, DefaultOptions()); err == nil {
+		t.Fatal("state space of MaxInt32+1 accepted; int32 predecessors would overflow")
+	}
+	// A two-path under the same options but a sane L still routes.
+	path, err := BufferAwarePath(g, geom.Pt{}, geom.Pt{X: 1}, 4, nil, DefaultOptions())
+	if err != nil {
+		t.Fatalf("sane L rejected: %v", err)
+	}
+	if len(path) < 2 || path[0] != (geom.Pt{X: 1}) || path[len(path)-1] != (geom.Pt{}) {
+		t.Fatalf("bad path %v", path)
 	}
 }
 

@@ -58,7 +58,9 @@ type (
 // RABID pipeline.
 type (
 	// Params configures a RABID run (Prim-Dijkstra alpha, router options,
-	// rip-up passes, capacity calibration, technology).
+	// rip-up passes, capacity calibration, technology, and Workers — the
+	// bound on the deterministic per-net worker pool; 0 means GOMAXPROCS,
+	// and results are bit-identical for every value).
 	Params = core.Params
 	// Result is a completed run: per-stage statistics, final routes,
 	// buffer assignments, and the tile graph.
