@@ -1,0 +1,111 @@
+// Command metricscheck validates a metrics JSON file produced by the
+// -metrics flag of cmd/rabid or cmd/tables (obs.Metrics.WriteJSON). It is
+// the CI gate of the benchmark-smoke job: the run must have produced one
+// completed span per pipeline stage with a positive, finite duration, and
+// no exported value may be non-finite (the JSON encoder writes NaN/±Inf
+// as null, so a null anywhere is a telemetry bug).
+//
+// Usage:
+//
+//	metricscheck [-stages 4] metrics.json
+//
+// Exits non-zero with a diagnostic on the first violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// span mirrors one obs.SpanStats entry; pointers distinguish a null
+// (non-finite or missing) field from a zero one.
+type span struct {
+	Count   *int64   `json:"count"`
+	TotalNs *float64 `json:"total_ns"`
+}
+
+// dump mirrors obs.Metrics.WriteJSON. Counter, gauge, and histogram values
+// decode as *float64 so the encoder's null (NaN/±Inf) stays detectable.
+type dump struct {
+	Counters   map[string]*float64  `json:"counters"`
+	Gauges     map[string]*float64  `json:"gauges"`
+	Histograms map[string]histogram `json:"histograms"`
+	Spans      map[string]span      `json:"spans"`
+}
+
+type histogram struct {
+	Count   *int64     `json:"count"`
+	Sum     *float64   `json:"sum"`
+	Min     *float64   `json:"min"`
+	Max     *float64   `json:"max"`
+	Buckets []*float64 `json:"buckets"`
+}
+
+func main() {
+	stages := flag.Int("stages", 4, "number of pipeline stages that must have completed spans (stage.1..stage.N)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-stages N] metrics.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *stages); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok (%d stage spans, all values finite)\n", flag.Arg(0), *stages)
+}
+
+func check(path string, stages int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for k, v := range d.Counters {
+		if v == nil {
+			return fmt.Errorf("counter %q is non-finite", k)
+		}
+	}
+	for k, v := range d.Gauges {
+		if v == nil {
+			return fmt.Errorf("gauge %q is non-finite", k)
+		}
+	}
+	for k, h := range d.Histograms {
+		if h.Sum == nil || h.Min == nil || h.Max == nil {
+			return fmt.Errorf("histogram %q has a non-finite sum/min/max", k)
+		}
+		for i, b := range h.Buckets {
+			if b == nil {
+				return fmt.Errorf("histogram %q bucket %d is non-finite", k, i)
+			}
+		}
+	}
+	for k, s := range d.Spans {
+		switch {
+		case s.Count == nil || s.TotalNs == nil:
+			return fmt.Errorf("span %q has null fields", k)
+		case *s.Count < 1:
+			return fmt.Errorf("span %q count = %d, want >= 1", k, *s.Count)
+		case *s.TotalNs <= 0:
+			return fmt.Errorf("span %q total_ns = %g, want > 0", k, *s.TotalNs)
+		}
+	}
+	if s, ok := d.Spans["run"]; !ok {
+		return fmt.Errorf("no run span recorded")
+	} else if *s.Count < 1 {
+		return fmt.Errorf("run span count = %d, want >= 1", *s.Count)
+	}
+	for i := 1; i <= stages; i++ {
+		k := fmt.Sprintf("stage.%d", i)
+		if _, ok := d.Spans[k]; !ok {
+			return fmt.Errorf("no completed span for %s: stage missing from the run", k)
+		}
+	}
+	return nil
+}

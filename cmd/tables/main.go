@@ -6,6 +6,14 @@
 //	tables -table 2   # one table
 //
 // Progress is logged to stderr; tables print to stdout.
+//
+// Telemetry and profiling:
+//
+//	tables -table 2 -metrics m.json     # aggregated metrics across all runs
+//	tables -table 2 -summary            # human-readable metrics summary
+//	tables -table 2 -cpuprofile cpu.pb  # pprof CPU profile
+//	tables -table 2 -memprofile mem.pb  # pprof heap profile (written at exit)
+//	tables -table 2 -trace trace.out    # runtime/trace execution trace
 package main
 
 import (
@@ -27,21 +35,75 @@ var titles = map[int]string{
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "table number 1-5 (0 = all)")
-		workers = flag.Int("workers", 0, "concurrent benchmark runs per table (0 = all CPUs; tables are identical for every value)")
+		table      = flag.Int("table", 0, "table number 1-5 (0 = all)")
+		workers    = flag.Int("workers", 0, "concurrent benchmark runs per table (0 = all CPUs; tables are identical for every value)")
+		metricsOut = flag.String("metrics", "", "write metrics aggregated over every RABID run (JSON) to this file")
+		summary    = flag.Bool("summary", false, "print a human-readable metrics summary to stderr at the end")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		traceOut   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
 	)
 	flag.Parse()
-	exp.Workers = *workers
+	if err := run(*table, *workers, *metricsOut, *summary, *cpuProfile, *memProfile, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, workers int, metricsOut string, summary bool, cpuProfile, memProfile, traceOut string) (err error) {
+	exp.Workers = workers
+
+	stopProfiles, err := rabid.StartProfiles(cpuProfile, traceOut, memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	// The metrics registry aggregates over the whole suite: the table jobs
+	// run concurrently, so their event streams interleave — an aggregating
+	// sink is the right tap here (a raw event trace would mix runs).
+	var metrics *rabid.MetricsObserver
+	if metricsOut != "" || summary {
+		metrics = rabid.NewMetricsObserver()
+		rabid.SetTableObserver(metrics)
+		defer rabid.SetTableObserver(nil)
+	}
+
 	which := []int{1, 2, 3, 4, 5}
-	if *table != 0 {
-		which = []int{*table}
+	if table != 0 {
+		which = []int{table}
 	}
 	for _, n := range which {
 		t, err := rabid.Table(n, os.Stderr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: table %d: %v\n", n, err)
-			os.Exit(1)
+			return fmt.Errorf("table %d: %w", n, err)
 		}
 		fmt.Printf("%s\n\n%s\n", titles[n], t.String())
 	}
+
+	if metrics != nil && metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsOut)
+	}
+	if metrics != nil && summary {
+		fmt.Fprintln(os.Stderr, "suite telemetry summary:")
+		if err := metrics.WriteSummary(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -93,10 +93,30 @@ type node struct {
 	extra []int16 // per index: -1, or the source index when C_v[j] used a trunk buffer
 }
 
+// DPStats counts the dynamic-programming work of one Assign call, for the
+// "Stage-3 DP candidates generated vs. pruned" telemetry: a candidate is
+// one (value, target-index) combination the DP evaluated; it is generated
+// when it improves the cell it lands in and pruned when an earlier
+// candidate already held a cheaper value. Joins counts the min-plus
+// convolution combinations evaluated at branch nodes.
+type DPStats struct {
+	Candidates int
+	Pruned     int
+	Joins      int
+}
+
 // Assign computes the minimum-cost buffer assignment for the routed tree rt
 // under length constraint L, where q(v) is the Eq. (2) site cost of the
 // tile at route-tree node v (may be +Inf for tiles without free sites).
 func Assign(rt *rtree.Tree, L int, q func(v int) float64) (Assignment, error) {
+	return AssignCounted(rt, L, q, nil)
+}
+
+// AssignCounted is Assign with optional work counters: when st is non-nil
+// it is overwritten with the DP statistics of this call. The counting is
+// a handful of integer increments in loops the DP runs anyway, so passing
+// nil and non-nil cost the same.
+func AssignCounted(rt *rtree.Tree, L int, q func(v int) float64, st *DPStats) (Assignment, error) {
 	if L < 1 {
 		return Assignment{}, fmt.Errorf("bufferdp: length constraint %d < 1", L)
 	}
@@ -109,6 +129,7 @@ func Assign(rt *rtree.Tree, L int, q func(v int) float64) (Assignment, error) {
 	}
 	nodes := make([]node, n)
 	inf := math.Inf(1)
+	candidates, pruned, joins := 0, 0, 0
 
 	// Arrays run from 0 to L inclusive. Index L — a full constraint's worth
 	// of unbuffered wire — is special: it cannot advance another tile
@@ -143,6 +164,7 @@ func Assign(rt *rtree.Tree, L int, q func(v int) float64) (Assignment, error) {
 				if j-1 < len(cw) && cw[j-1] < k[j] {
 					k[j] = cw[j-1]
 					kp[j] = kptr{fromJ: int16(j - 1), valid: true}
+					candidates++
 				}
 			}
 			// Violation bucket: stay at the top index, paying the penalty.
@@ -150,6 +172,9 @@ func Assign(rt *rtree.Tree, L int, q func(v int) float64) (Assignment, error) {
 				if c := cw[top] + ViolationPenalty; c < k[m] {
 					k[m] = c
 					kp[m] = kptr{fromJ: int16(top), violated: true, valid: true}
+					candidates++
+				} else {
+					pruned++
 				}
 			}
 			// BufferTile: a buffer at v decouples and drives this branch
@@ -161,9 +186,14 @@ func Assign(rt *rtree.Tree, L int, q func(v int) float64) (Assignment, error) {
 						bestC, bestJ = cw[j], j
 					}
 				}
-				if bestJ >= 0 && qa+bestC < k[0] {
-					k[0] = qa + bestC
-					kp[0] = kptr{fromJ: int16(bestJ), buffered: true, valid: true}
+				if bestJ >= 0 {
+					if qa+bestC < k[0] {
+						k[0] = qa + bestC
+						kp[0] = kptr{fromJ: int16(bestJ), buffered: true, valid: true}
+						candidates++
+					} else {
+						pruned++
+					}
 				}
 			}
 			nd.k[i] = k
@@ -198,9 +228,13 @@ func Assign(rt *rtree.Tree, L int, q func(v int) float64) (Assignment, error) {
 						tgt = m
 						viol = true
 					}
+					joins++
 					if sum < nxt[tgt] {
 						nxt[tgt] = sum
 						np[tgt] = jptr{left: int16(j1), right: int16(j2), violated: viol, valid: true}
+						candidates++
+					} else {
+						pruned++
 					}
 				}
 			}
@@ -224,12 +258,20 @@ func Assign(rt *rtree.Tree, L int, q func(v int) float64) (Assignment, error) {
 						bestC, bestJ = acc[j], j
 					}
 				}
-				if bestJ >= 0 && qa+bestC < nd.c[0] {
-					nd.c[0] = qa + bestC
-					nd.extra[0] = int16(bestJ)
+				if bestJ >= 0 {
+					if qa+bestC < nd.c[0] {
+						nd.c[0] = qa + bestC
+						nd.extra[0] = int16(bestJ)
+						candidates++
+					} else {
+						pruned++
+					}
 				}
 			}
 		}
+	}
+	if st != nil {
+		*st = DPStats{Candidates: candidates, Pruned: pruned, Joins: joins}
 	}
 
 	// The answer is the cheapest root entry; index L lets the driver itself

@@ -24,12 +24,14 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mcf"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/route"
 	"repro/internal/rtree"
 	"repro/internal/steiner"
 	"repro/internal/tech"
 	"repro/internal/tile"
+	"repro/internal/viz"
 )
 
 // Params configures a RABID run.
@@ -64,6 +66,13 @@ type Params struct {
 	// only to their own net's slot and all shared tile-graph mutation stays
 	// sequential (see DESIGN.md, "Parallel execution model").
 	Workers int
+	// Observer receives the run's structured telemetry: trace spans,
+	// counters, gauges, and congestion-heat snapshots (see internal/obs).
+	// nil disables observation at zero cost — no events are built and no
+	// clocks are read. The event stream is deterministic for every Workers
+	// value (parallel sections buffer per net and flush in index order);
+	// only span durations vary run to run.
+	Observer obs.Observer
 }
 
 // DefaultParams returns the paper's parameter set.
@@ -90,7 +99,11 @@ type StageStats struct {
 	WirelenMm  float64 // total routed wirelength
 	MaxDelayPs float64
 	AvgDelayPs float64
-	CPU        time.Duration
+	// NonFiniteDelays counts sink delays excluded from the delay columns
+	// because they were NaN or ±Inf — the +Inf sentinel refreshDelays
+	// plants on a broken net must never poison the aggregates.
+	NonFiniteDelays int
+	CPU             time.Duration
 }
 
 // Result is a completed RABID run.
@@ -128,6 +141,8 @@ type state struct {
 	// Stage 4 can release them.
 	bufTiles [][]int
 	delays   []float64 // per-net max sink delay, for ordering
+	obs      obs.Observer
+	stage    int // current pipeline stage, stamped on emitted events
 }
 
 // Run executes the full RABID pipeline on the circuit.
@@ -151,10 +166,18 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 		hasAsg:   make([]bool, len(c.Nets)),
 		bufTiles: make([][]int, len(c.Nets)),
 		delays:   make([]float64, len(c.Nets)),
+		obs:      p.Observer,
 	}
 	res := &Result{Circuit: c, Params: p}
 
+	var tRun time.Time
+	if st.obs != nil {
+		tRun = time.Now()
+		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "run", Net: -1})
+	}
 	run := func(stage int, f func() error) error {
+		st.stage = stage
+		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "stage", Stage: stage, Net: -1})
 		t0 := time.Now()
 		if err := f(); err != nil {
 			return fmt.Errorf("core: stage %d: %w", stage, err)
@@ -162,6 +185,7 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 		s := st.snapshot(stage)
 		s.CPU = time.Since(t0)
 		res.Stages = append(res.Stages, s)
+		st.emitStage(s)
 		return nil
 	}
 	if err := run(1, st.stage1); err != nil {
@@ -178,6 +202,9 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 			return nil, err
 		}
 	}
+	if st.obs != nil {
+		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "run", Net: -1, Dur: time.Since(tRun)})
+	}
 	res.Capacity = st.g.Capacity(0)
 	res.Graph = st.g
 	res.Routes = st.routes
@@ -185,21 +212,61 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 	return res, nil
 }
 
+// emitStage exports one completed stage's snapshot to the observer: the
+// stage span (whose duration is the stage CPU column), the Table II
+// columns as stage-qualified gauges, the non-finite-delay counter, and
+// the wire/buffer congestion heat fields.
+func (s *state) emitStage(ss StageStats) {
+	if s.obs == nil {
+		return
+	}
+	st := ss.Stage
+	gauge := func(scope string, v float64) {
+		s.obs.Observe(obs.Event{Kind: obs.KindGauge, Scope: scope, Stage: st, Net: -1, Value: v})
+	}
+	gauge("stage.wire_max", ss.WireMax)
+	gauge("stage.wire_avg", ss.WireAvg)
+	gauge("stage.overflows", float64(ss.Overflows))
+	gauge("stage.buf_max", ss.BufMax)
+	gauge("stage.buf_avg", ss.BufAvg)
+	gauge("stage.buffers", float64(ss.Buffers))
+	gauge("stage.fails", float64(ss.Fails))
+	gauge("stage.wirelen_mm", ss.WirelenMm)
+	gauge("stage.delay_max_ps", ss.MaxDelayPs)
+	gauge("stage.delay_avg_ps", ss.AvgDelayPs)
+	if ss.NonFiniteDelays > 0 {
+		s.obs.Observe(obs.Event{Kind: obs.KindCounter, Scope: "delay.nonfinite", Stage: st, Net: -1, Value: float64(ss.NonFiniteDelays)})
+	}
+	s.obs.Observe(obs.Event{Kind: obs.KindHeat, Scope: "heat.wire", Stage: st, Net: -1, Vals: viz.WireHeat(s.g)})
+	s.obs.Observe(obs.Event{Kind: obs.KindHeat, Scope: "heat.buffer", Stage: st, Net: -1, Vals: viz.BufferHeat(s.g)})
+	s.obs.Observe(obs.Event{Kind: obs.KindSpanEnd, Scope: "stage", Stage: st, Net: -1, Dur: ss.CPU})
+}
+
 // stage1 builds the initial Steiner routes and the calibrated tile graph.
 // Route construction is pure per-net work and fans out over the worker
 // pool; the capacity calibration and usage registration that follow mutate
 // the shared graph and stay sequential.
 func (s *state) stage1() error {
+	bufs := obs.NewIndexBuffers(s.obs, len(s.c.Nets))
 	if err := par.ForEach(s.p.Workers, len(s.c.Nets), func(i int) error {
+		var t0 time.Time
+		if bufs.Active() {
+			t0 = time.Now()
+		}
 		rt, err := steiner.InitialRoute(s.c.Nets[i], s.p.Alpha)
 		if err != nil {
 			return err
 		}
 		s.routes[i] = rt
+		if bufs.Active() {
+			bufs.Emit(i, obs.Event{Kind: obs.KindSpanEnd, Scope: "net.steiner", Stage: 1,
+				Net: s.c.Nets[i].ID, Dur: time.Since(t0)})
+		}
 		return nil
 	}); err != nil {
 		return err
 	}
+	bufs.Flush()
 	// Register usage on a provisional graph to calibrate capacity.
 	prov, err := tile.New(s.c.GridW, s.c.GridH, s.c.BufferSites, 1)
 	if err != nil {
@@ -220,6 +287,7 @@ func (s *state) stage1() error {
 	if err != nil {
 		return err
 	}
+	obs.Emit(s.obs, obs.Event{Kind: obs.KindGauge, Scope: "stage1.capacity", Stage: 1, Net: -1, Value: float64(capacity)})
 	for _, rt := range s.routes {
 		route.AddUsage(s.g, rt)
 	}
@@ -230,7 +298,9 @@ func (s *state) stage1() error {
 // the multicommodity-flow router when configured.
 func (s *state) stage2() error {
 	if s.p.UseMCFRouter {
-		res, err := mcf.Route(s.g, s.c.Nets, mcf.Options{RouteOpt: s.p.RouteOpt})
+		mopt := mcf.Options{RouteOpt: s.p.RouteOpt, Obs: s.obs}
+		mopt.RouteOpt.Stage = 2
+		res, err := mcf.Route(s.g, s.c.Nets, mopt)
 		if err != nil {
 			return err
 		}
@@ -242,7 +312,9 @@ func (s *state) stage2() error {
 		return s.refreshDelays()
 	}
 	order := s.orderByDelay(false) // smallest delay first
-	if _, err := route.ReduceCongestion(s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, s.p.RouteOpt); err != nil {
+	opt := s.p.RouteOpt
+	opt.Obs, opt.Stage = s.obs, 2
+	if _, err := route.ReduceCongestion(s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, opt); err != nil {
 		return err
 	}
 	return s.refreshDelays()
@@ -286,6 +358,13 @@ func (s *state) assignNet(i int) error {
 	rt := s.routes[i]
 	banned := map[int]bool{}
 	var a bufferdp.Assignment
+	var dp bufferdp.DPStats
+	var dpp *bufferdp.DPStats
+	var t0 time.Time
+	if s.obs != nil {
+		dpp = &dp
+		t0 = time.Now()
+	}
 	for {
 		q := func(v int) float64 {
 			ti := s.g.TileIndex(rt.Tile[v])
@@ -295,7 +374,7 @@ func (s *state) assignNet(i int) error {
 			return s.g.SiteCost(ti)
 		}
 		var err error
-		a, err = bufferdp.Assign(rt, s.c.Nets[i].L, q)
+		a, err = bufferdp.AssignCounted(rt, s.c.Nets[i].L, q, dpp)
 		if err != nil {
 			return err
 		}
@@ -312,6 +391,23 @@ func (s *state) assignNet(i int) error {
 			break
 		}
 		banned[over] = true
+	}
+	if s.obs != nil {
+		// dp holds the counters of the last (committed) DP run; the banned
+		// map size is the buffer-site contention — tiles whose free sites
+		// could not honor the solution, forcing a re-run.
+		id := s.c.Nets[i].ID
+		emit := func(scope string, v float64) {
+			s.obs.Observe(obs.Event{Kind: obs.KindCounter, Scope: scope, Stage: s.stage, Net: id, Value: v})
+		}
+		emit("dp.candidates", float64(dp.Candidates))
+		emit("dp.pruned", float64(dp.Pruned))
+		emit("dp.joins", float64(dp.Joins))
+		if len(banned) > 0 {
+			emit("dp.site_contention", float64(len(banned)))
+			emit("dp.reruns", float64(len(banned)))
+		}
+		s.obs.Observe(obs.Event{Kind: obs.KindSpanEnd, Scope: "net.assign", Stage: s.stage, Net: id, Dur: time.Since(t0)})
 	}
 	s.asg[i] = a
 	s.hasAsg[i] = true
@@ -354,6 +450,17 @@ func (s *state) stage4() error {
 // reworkNet reroutes net i one two-path at a time.
 func (s *state) reworkNet(i int) error {
 	n := s.c.Nets[i]
+	ropt := s.p.RouteOpt
+	ropt.Obs, ropt.Stage = s.obs, s.stage
+	var t0 time.Time
+	nPaths := 0
+	if s.obs != nil {
+		t0 = time.Now()
+		defer func() {
+			s.obs.Observe(obs.Event{Kind: obs.KindCounter, Scope: "rework.twopaths", Stage: s.stage, Net: n.ID, Value: float64(nPaths)})
+			s.obs.Observe(obs.Event{Kind: obs.KindSpanEnd, Scope: "net.rework", Stage: s.stage, Net: n.ID, Dur: time.Since(t0)})
+		}()
+	}
 	processed := map[[2]geom.Pt]bool{}
 	for {
 		rt := s.routes[i]
@@ -372,6 +479,7 @@ func (s *state) reworkNet(i int) error {
 		head := rt.Tile[pick[0]]
 		tail := rt.Tile[pick[len(pick)-1]]
 		processed[[2]geom.Pt{head, tail}] = true
+		nPaths++
 
 		// Remove the whole net's wires, rebuild the tree with the new
 		// reconnection, and re-register. Blocked tiles are the tree tiles
@@ -388,7 +496,7 @@ func (s *state) reworkNet(i int) error {
 				blocked[t] = true
 			}
 		}
-		newPath, err := route.BufferAwarePath(s.g, tail, head, n.L, blocked, s.p.RouteOpt)
+		newPath, err := route.BufferAwarePath(s.g, tail, head, n.L, blocked, ropt)
 		if err != nil {
 			// Keep the old route if no reconnection exists (should not
 			// happen: the ripped path itself is always available).
@@ -466,7 +574,8 @@ func (s *state) addDemand(rt *rtree.Tree, d float64) {
 // caller that ignores the error orders such nets deterministically as the
 // most critical. All broken nets are reported, joined in net-index order.
 func (s *state) refreshDelays() error {
-	return par.ForEach(s.p.Workers, len(s.routes), func(i int) error {
+	evs := obs.NewIndexBuffers(s.obs, len(s.routes))
+	err := par.ForEach(s.p.Workers, len(s.routes), func(i int) error {
 		var bufs []bufferdp.Buffer
 		if s.hasAsg[i] {
 			bufs = s.asg[i].Buffers
@@ -474,6 +583,7 @@ func (s *state) refreshDelays() error {
 		ds, err := s.eval.SinkDelays(s.routes[i], bufs)
 		if err != nil {
 			s.delays[i] = math.Inf(1)
+			evs.Emit(i, obs.Event{Kind: obs.KindCounter, Scope: "delay.eval_errors", Stage: s.stage, Net: s.c.Nets[i].ID, Value: 1})
 			return fmt.Errorf("core: net %d: delay evaluation: %w", s.c.Nets[i].ID, err)
 		}
 		m := 0.0
@@ -483,8 +593,11 @@ func (s *state) refreshDelays() error {
 			}
 		}
 		s.delays[i] = m
+		evs.Emit(i, obs.Event{Kind: obs.KindGauge, Scope: "net.delay_ps", Stage: s.stage, Net: s.c.Nets[i].ID, Value: m * 1e12})
 		return nil
 	})
+	evs.Flush()
+	return err
 }
 
 // orderByDelay returns net indices sorted by current delay.
@@ -557,5 +670,6 @@ func (s *state) snapshot(stage int) StageStats {
 	st.WirelenMm = float64(wireTiles) * s.c.TileUm / 1000
 	st.MaxDelayPs = dst.MaxPs()
 	st.AvgDelayPs = dst.AvgPs()
+	st.NonFiniteDelays = dst.NonFinite
 	return st
 }

@@ -10,7 +10,7 @@ import (
 )
 
 // smallCircuit builds a compact deterministic instance that runs fast.
-func smallCircuit(t *testing.T, seed int64, nets, gridW, gridH, sitesPerTile, L int) *netlist.Circuit {
+func smallCircuit(t testing.TB, seed int64, nets, gridW, gridH, sitesPerTile, L int) *netlist.Circuit {
 	t.Helper()
 	r := rand.New(rand.NewSource(seed))
 	tileUm := 600.0

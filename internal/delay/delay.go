@@ -180,11 +180,21 @@ func (e Evaluator) SinkDelaysSized(rt *rtree.Tree, bufs []Placed) ([]float64, er
 type Stats struct {
 	Max, Sum float64
 	Count    int
+	// NonFinite counts delays that were NaN or ±Inf and were therefore
+	// excluded from Max/Sum/Count: a broken net's +Inf sentinel (see
+	// core.refreshDelays) must never poison the aggregate delay columns.
+	// Callers surface it as the "delay.nonfinite" telemetry counter.
+	NonFinite int
 }
 
-// Add folds one net's sink delays into the stats.
+// Add folds one net's sink delays into the stats, skipping (but counting)
+// non-finite values.
 func (s *Stats) Add(delays []float64) {
 	for _, d := range delays {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			s.NonFinite++
+			continue
+		}
 		if d > s.Max {
 			s.Max = d
 		}

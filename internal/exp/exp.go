@@ -7,12 +7,12 @@ package exp
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"repro/internal/bbp"
 	"repro/internal/core"
 	"repro/internal/floorplan"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/textable"
 )
@@ -23,6 +23,15 @@ import (
 // fan-out completes, so the tables are identical for every value — only
 // the progress-log order varies.
 var Workers int
+
+// Observer, when set before a TableN call, taps every RABID run of the
+// suite (core.Params.Observer) and additionally receives the tables'
+// progress lines as KindLog events. Because the benchmark fan-out runs
+// jobs concurrently, events from different runs interleave — the sink must
+// be safe for concurrent use (all internal/obs sinks are) and should
+// aggregate rather than assume one run's stream (obs.Metrics does; a raw
+// obs.JSONLines trace of a whole table mixes runs).
+var Observer obs.Observer
 
 // CBLNames are the six CBL/MCNC circuits reported stage by stage in
 // Table II; RandomNames are the four random circuits reported cumulatively.
@@ -58,42 +67,49 @@ func Generate(name string, opt floorplan.Options) (*netlist.Circuit, error) {
 	return floorplan.Generate(spec, opt)
 }
 
-// RunBenchmark generates and runs one suite circuit through RABID.
+// RunBenchmark generates and runs one suite circuit through RABID, tapped
+// by the package Observer when one is set.
 func RunBenchmark(name string, opt floorplan.Options) (*core.Result, error) {
 	c, err := Generate(name, opt)
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(c, ParamsFor(name))
+	p := ParamsFor(name)
+	p.Observer = Observer
+	return core.Run(c, p)
 }
 
-// lockedLog serializes progress logging from the concurrent benchmark
-// runs; the writer (usually stderr) need not be safe for concurrent use.
-type lockedLog struct {
-	mu sync.Mutex
-	w  io.Writer
+// progress fans the tables' progress lines out to the package Observer and
+// the TableN functions' legacy io.Writer argument. The io.Writer signature
+// is kept as a thin adapter: the writer becomes an obs.Progress sink, so
+// both paths see the same KindLog events (and a nil log with no Observer
+// collapses to a nil observer — no events are built at all).
+func progress(log io.Writer) obs.Observer {
+	return obs.Multi(Observer, obs.Progress(log))
 }
 
-func (l *lockedLog) logf(format string, args ...interface{}) {
-	if l.w == nil {
+// logf emits one formatted progress line as a KindLog event.
+func logf(o obs.Observer, format string, args ...interface{}) {
+	if o == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	fmt.Fprintf(l.w, format, args...)
+	o.Observe(obs.Event{Kind: obs.KindLog, Scope: fmt.Sprintf(format, args...), Net: -1})
 }
 
-// Table1 renders the benchmark statistics and parameters (paper Table I).
-// It reports the generated circuits' actual statistics, which match the
-// specs by construction.
-func Table1() (*textable.Table, error) {
+// Table1 renders the benchmark statistics and parameters (paper Table I),
+// logging per-circuit progress to log (may be nil). It reports the
+// generated circuits' actual statistics, which match the specs by
+// construction.
+func Table1(log io.Writer) (*textable.Table, error) {
 	specs := floorplan.Suite()
 	circuits := make([]*netlist.Circuit, len(specs))
+	o := progress(log)
 	if err := par.ForEach(Workers, len(specs), func(i int) error {
 		c, err := floorplan.Generate(specs[i], floorplan.Options{})
 		if err != nil {
 			return fmt.Errorf("table1: %s: %w", specs[i].Name, err)
 		}
+		logf(o, "table1: %s", specs[i].Name)
 		circuits[i] = c
 		return nil
 	}); err != nil {
@@ -128,13 +144,13 @@ func stageHeader() *textable.Table {
 func Table2(log io.Writer) (*textable.Table, error) {
 	names := append(append([]string{}, CBLNames...), RandomNames...)
 	results := make([]*core.Result, len(names))
-	ll := &lockedLog{w: log}
+	o := progress(log)
 	if err := par.ForEach(Workers, len(names), func(i int) error {
 		res, err := RunBenchmark(names[i], floorplan.Options{})
 		if err != nil {
 			return fmt.Errorf("table2: %s: %w", names[i], err)
 		}
-		ll.logf("table2: %s\n", names[i])
+		logf(o, "table2: %s", names[i])
 		results[i] = res
 		return nil
 	}); err != nil {
@@ -183,13 +199,13 @@ func Table3(log io.Writer) (*textable.Table, error) {
 		}
 	}
 	results := make([]*core.Result, len(jobs))
-	ll := &lockedLog{w: log}
+	o := progress(log)
 	if err := par.ForEach(Workers, len(jobs), func(i int) error {
 		res, err := RunBenchmark(jobs[i].name, floorplan.Options{Sites: jobs[i].sites})
 		if err != nil {
 			return fmt.Errorf("table3: %s sites=%d: %w", jobs[i].name, jobs[i].sites, err)
 		}
-		ll.logf("table3: %s sites=%d\n", jobs[i].name, jobs[i].sites)
+		logf(o, "table3: %s sites=%d", jobs[i].name, jobs[i].sites)
 		results[i] = res
 		return nil
 	}); err != nil {
@@ -236,14 +252,14 @@ func Table4(log io.Writer) (*textable.Table, error) {
 		}
 	}
 	results := make([]*core.Result, len(jobs))
-	ll := &lockedLog{w: log}
+	o := progress(log)
 	if err := par.ForEach(Workers, len(jobs), func(i int) error {
 		g := jobs[i].grid
 		res, err := RunBenchmark(jobs[i].name, floorplan.Options{GridW: g[0], GridH: g[1]})
 		if err != nil {
 			return fmt.Errorf("table4: %s grid=%dx%d: %w", jobs[i].name, g[0], g[1], err)
 		}
-		ll.logf("table4: %s grid=%dx%d\n", jobs[i].name, g[0], g[1])
+		logf(o, "table4: %s grid=%dx%d", jobs[i].name, g[0], g[1])
 		results[i] = res
 		return nil
 	}); err != nil {
@@ -311,13 +327,13 @@ func RunTable5Pair(name string) (*Table5Pair, error) {
 func Table5(log io.Writer) (*textable.Table, error) {
 	specs := floorplan.Suite()
 	pairs := make([]*Table5Pair, len(specs))
-	ll := &lockedLog{w: log}
+	o := progress(log)
 	if err := par.ForEach(Workers, len(specs), func(i int) error {
 		pair, err := RunTable5Pair(specs[i].Name)
 		if err != nil {
 			return fmt.Errorf("table5: %s: %w", specs[i].Name, err)
 		}
-		ll.logf("table5: %s\n", specs[i].Name)
+		logf(o, "table5: %s", specs[i].Name)
 		pairs[i] = pair
 		return nil
 	}); err != nil {

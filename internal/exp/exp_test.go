@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/floorplan"
+	"repro/internal/obs"
 )
 
 func TestParamsFor(t *testing.T) {
@@ -47,7 +48,7 @@ func TestTargetsCoverSuite(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	tb, err := Table1()
+	tb, err := Table1(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,6 +60,38 @@ func TestTable1(t *testing.T) {
 	}
 	if !strings.Contains(out, "30x33") {
 		t.Error("table 1 missing grid column")
+	}
+}
+
+// TestTable1LogsProgress is the regression test for the facade bug where
+// Table(1, log) silently ignored its log argument: Table1 must report
+// per-circuit progress like every other table.
+func TestTable1LogsProgress(t *testing.T) {
+	var buf strings.Builder
+	if _, err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range CBLNames {
+		if !strings.Contains(buf.String(), "table1: "+name) {
+			t.Errorf("progress log missing %q:\n%s", "table1: "+name, buf.String())
+		}
+	}
+}
+
+// TestObserverTapsBenchmarkRuns: the package Observer must see the suite
+// runs' pipeline telemetry and the tables' progress lines.
+func TestObserverTapsBenchmarkRuns(t *testing.T) {
+	m := obs.NewMetrics()
+	Observer = m
+	defer func() { Observer = nil }()
+	if _, err := RunBenchmark("apte", floorplan.Options{GridW: 10, GridH: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Span("run"); s.Count != 1 {
+		t.Errorf("run span count = %d, want 1", s.Count)
+	}
+	if s := m.Span("stage.4"); s.Count != 1 || s.Total <= 0 {
+		t.Errorf("stage.4 span = %+v, want one completed span", s)
 	}
 }
 

@@ -16,8 +16,10 @@ package mcf
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/rtree"
 	"repro/internal/tile"
@@ -35,6 +37,9 @@ type Options struct {
 	// RouteOpt configures the underlying Steiner router; its congestion
 	// cost is replaced by the MCF edge lengths.
 	RouteOpt route.Options
+	// Obs receives per-phase spans and congestion gauges (see internal/obs)
+	// and is propagated to the underlying router. nil disables telemetry.
+	Obs obs.Observer
 }
 
 // Result is a complete MCF routing.
@@ -66,11 +71,14 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("mcf: epsilon %g outside (0,1)", opt.Epsilon)
 	}
 	if opt.RouteOpt.OverflowPenalty == 0 {
+		stage := opt.RouteOpt.Stage
 		opt.RouteOpt = route.DefaultOptions()
+		opt.RouteOpt.Stage = stage
 	}
 	// Pure shortest trees under the MCF lengths: no PD discounting, which
 	// would distort the length system.
 	opt.RouteOpt.Alpha = 1
+	opt.RouteOpt.Obs = opt.Obs
 
 	ne := g.NumEdges()
 	length := make([]float64, ne)
@@ -100,8 +108,16 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 	}
 
 	for phase := 0; phase < opt.Phases; phase++ {
+		popt := opt.RouteOpt
+		popt.Pass = phase + 1
+		var t0 time.Time
+		if opt.Obs != nil {
+			t0 = time.Now()
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "mcf.phase",
+				Stage: popt.Stage, Pass: popt.Pass, Net: -1})
+		}
 		for i, n := range nets {
-			rt, err := route.Reroute(g, n, opt.RouteOpt)
+			rt, err := route.Reroute(g, n, popt)
 			if err != nil {
 				return nil, fmt.Errorf("mcf: phase %d: %w", phase, err)
 			}
@@ -114,6 +130,10 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 				length[e] *= 1 + opt.Epsilon/float64(g.Capacity(e))
 			}
 		}
+		if opt.Obs != nil {
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "mcf.phase",
+				Stage: popt.Stage, Pass: popt.Pass, Net: -1, Dur: time.Since(t0)})
+		}
 	}
 
 	res := &Result{Routes: make([]*rtree.Tree, len(nets))}
@@ -123,6 +143,8 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 			res.FractionalMaxCongestion = c
 		}
 	}
+	obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "mcf.frac_congestion",
+		Stage: opt.RouteOpt.Stage, Net: -1, Value: res.FractionalMaxCongestion})
 	// Randomized rounding: pick each net's tree with probability
 	// proportional to its phase count.
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -181,6 +203,8 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 		}
 	}
 	_, res.RoundedMaxCongestion = score()
+	obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "mcf.rounded_congestion",
+		Stage: opt.RouteOpt.Stage, Net: -1, Value: res.RoundedMaxCongestion})
 	return res, nil
 }
 

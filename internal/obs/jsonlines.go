@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// JSONLines serializes every event as one JSON object per line, suitable
+// for jq/pandas-style post-processing. Encoding is hand-rolled so the
+// field order is fixed and the stream is deterministic: span durations —
+// the only wall-clock field — are omitted unless Durations is set, which
+// is what keeps traces byte-identical across Params.Workers values.
+//
+// Write errors are sticky: the first one stops further output and is
+// reported by Err, so a full pipeline run never aborts on a broken sink.
+type JSONLines struct {
+	mu sync.Mutex
+	w  io.Writer
+	// Durations includes "dur_ns" on span-end events. Off by default:
+	// wall-clock times differ run to run and across worker counts, so a
+	// deterministic trace must not carry them.
+	Durations bool
+	buf       []byte
+	err       error
+}
+
+// NewJSONLines returns a deterministic JSON-lines sink writing to w.
+func NewJSONLines(w io.Writer) *JSONLines {
+	return &JSONLines{w: w}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLines) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Observe implements Observer.
+func (s *JSONLines) Observe(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"k":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","scope":`...)
+	b = strconv.AppendQuote(b, e.Scope)
+	if e.Stage > 0 {
+		b = append(b, `,"stage":`...)
+		b = strconv.AppendInt(b, int64(e.Stage), 10)
+	}
+	if e.Pass > 0 {
+		b = append(b, `,"pass":`...)
+		b = strconv.AppendInt(b, int64(e.Pass), 10)
+	}
+	if e.Net >= 0 {
+		b = append(b, `,"net":`...)
+		b = strconv.AppendInt(b, int64(e.Net), 10)
+	}
+	switch e.Kind {
+	case KindCounter, KindGauge:
+		b = append(b, `,"v":`...)
+		b = appendFloat(b, e.Value)
+	case KindSpanEnd:
+		if s.Durations {
+			b = append(b, `,"dur_ns":`...)
+			b = strconv.AppendInt(b, int64(e.Dur), 10)
+		}
+	case KindHeat:
+		b = append(b, `,"vals":[`...)
+		for i, v := range e.Vals {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendFloat(b, v)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	_, s.err = s.w.Write(b)
+}
+
+// appendFloat formats v as JSON. JSON has no Inf/NaN literals; they are
+// mapped to null so a stream stays parseable even if a non-finite value
+// ever leaks into an event (the metricscheck CI gate then flags it).
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// histBuckets is the number of power-of-two histogram buckets: bucket 0
+// holds values < 1, bucket i holds values in [2^(i-1), 2^i), and the last
+// bucket absorbs everything larger.
+const histBuckets = 32
+
+// Histogram is a fixed exponential (power-of-two) histogram of observed
+// counter/gauge values, plus exact count/sum/min/max.
+type Histogram struct {
+	Count    int
+	Sum      float64
+	Min, Max float64
+	Buckets  [histBuckets]int
+}
+
+func (h *Histogram) observe(v float64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bucketOf(v)]++
+}
+
+// bucketOf maps v to its power-of-two bucket; non-finite and negative
+// values land in the extreme buckets rather than corrupting the array.
+func bucketOf(v float64) int {
+	if math.IsNaN(v) || v < 1 {
+		return 0
+	}
+	if v >= math.MaxUint64/2 {
+		return histBuckets - 1
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// SpanStats aggregates the completed spans of one scope key.
+type SpanStats struct {
+	Count int
+	Total time.Duration
+}
+
+// Metrics is the aggregating registry sink: counters sum, gauges keep the
+// last value, every counter/gauge observation also feeds a histogram of
+// its scope, and span-end events accumulate count and total duration per
+// stage-qualified scope ("stage.2", "net.assign.3", ...). Safe for
+// concurrent use, so one registry can absorb the experiment suite's
+// concurrent benchmark fan-out.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+	spans    map[string]*SpanStats
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*Histogram{},
+		spans:    map[string]*SpanStats{},
+	}
+}
+
+// key qualifies a scope with its stage ("route.pops.2"); stage-less
+// events keep the bare scope.
+func key(scope string, stage int) string {
+	if stage <= 0 {
+		return scope
+	}
+	return scope + "." + strconv.Itoa(stage)
+}
+
+// Observe implements Observer.
+func (m *Metrics) Observe(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e.Kind {
+	case KindCounter:
+		k := key(e.Scope, e.Stage)
+		m.counters[k] += e.Value
+		m.hist(k).observe(e.Value)
+	case KindGauge:
+		k := key(e.Scope, e.Stage)
+		m.gauges[k] = e.Value
+		m.hist(k).observe(e.Value)
+	case KindSpanEnd:
+		k := key(e.Scope, e.Stage)
+		s := m.spans[k]
+		if s == nil {
+			s = &SpanStats{}
+			m.spans[k] = s
+		}
+		s.Count++
+		s.Total += e.Dur
+	}
+	// Span begins, heat snapshots, and log lines carry no aggregate.
+}
+
+func (m *Metrics) hist(k string) *Histogram {
+	h := m.hists[k]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[k] = h
+	}
+	return h
+}
+
+// Counter returns the accumulated value of a counter key.
+func (m *Metrics) Counter(k string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[k]
+}
+
+// Gauge returns the last value of a gauge key and whether it was set.
+func (m *Metrics) Gauge(k string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.gauges[k]
+	return v, ok
+}
+
+// Span returns the aggregated stats of a span key (zero value if unseen).
+func (m *Metrics) Span(k string) SpanStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s := m.spans[k]; s != nil {
+		return *s
+	}
+	return SpanStats{}
+}
+
+// WriteJSON dumps the registry as one expvar-style JSON document with
+// sorted keys (deterministic given the same aggregated values). This is
+// the format cmd/metricscheck validates in CI.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b []byte
+	b = append(b, `{"counters":{`...)
+	b = appendFloatMap(b, m.counters)
+	b = append(b, `},"gauges":{`...)
+	b = appendFloatMap(b, m.gauges)
+	b = append(b, `},"histograms":{`...)
+	for i, k := range sortedKeys(m.hists) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		h := m.hists[k]
+		b = strconv.AppendQuote(b, k)
+		b = append(b, `:{"count":`...)
+		b = strconv.AppendInt(b, int64(h.Count), 10)
+		b = append(b, `,"sum":`...)
+		b = appendFloat(b, h.Sum)
+		b = append(b, `,"min":`...)
+		b = appendFloat(b, h.Min)
+		b = append(b, `,"max":`...)
+		b = appendFloat(b, h.Max)
+		b = append(b, `,"buckets":[`...)
+		// Trailing empty buckets are truncated to keep dumps compact.
+		top := len(h.Buckets)
+		for top > 0 && h.Buckets[top-1] == 0 {
+			top--
+		}
+		for j := 0; j < top; j++ {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(h.Buckets[j]), 10)
+		}
+		b = append(b, `]}`...)
+	}
+	b = append(b, `},"spans":{`...)
+	for i, k := range sortedKeys(m.spans) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		s := m.spans[k]
+		b = strconv.AppendQuote(b, k)
+		b = append(b, `:{"count":`...)
+		b = strconv.AppendInt(b, int64(s.Count), 10)
+		b = append(b, `,"total_ns":`...)
+		b = strconv.AppendInt(b, int64(s.Total), 10)
+		b = append(b, '}')
+	}
+	b = append(b, `}}`...)
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	return err
+}
+
+// WriteSummary renders the registry as a human-readable run summary:
+// spans first (where the wall clock went), then counters and gauges.
+func (m *Metrics) WriteSummary(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "telemetry summary\n"); err != nil {
+		return err
+	}
+	if len(m.spans) > 0 {
+		fmt.Fprintf(w, "  spans (count, total wall clock):\n")
+		for _, k := range sortedKeys(m.spans) {
+			s := m.spans[k]
+			fmt.Fprintf(w, "    %-28s %6dx  %s\n", k, s.Count, s.Total)
+		}
+	}
+	if len(m.counters) > 0 {
+		fmt.Fprintf(w, "  counters:\n")
+		for _, k := range sortedKeys(m.counters) {
+			fmt.Fprintf(w, "    %-28s %g\n", k, m.counters[k])
+		}
+	}
+	if len(m.gauges) > 0 {
+		fmt.Fprintf(w, "  gauges (last value):\n")
+		for _, k := range sortedKeys(m.gauges) {
+			fmt.Fprintf(w, "    %-28s %g\n", k, m.gauges[k])
+		}
+	}
+	return nil
+}
+
+func appendFloatMap(b []byte, m map[string]float64) []byte {
+	for i, k := range sortedKeys(m) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, k)
+		b = append(b, ':')
+		b = appendFloat(b, m[k])
+	}
+	return b
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

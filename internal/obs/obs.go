@@ -1,0 +1,219 @@
+// Package obs is the structured telemetry layer of the RABID pipeline:
+// hierarchical trace spans (run → stage → rip-up pass → per-net
+// operation), metric counters and gauges, and periodic congestion-heat
+// snapshots, all delivered as a single stream of Event values to an
+// Observer hook (core.Params.Observer).
+//
+// Design constraints, in order:
+//
+//  1. Zero overhead when no observer is attached. Event is a plain value
+//     type built on the caller's stack; Emit compiles to a nil compare
+//     and a skip, so instrumented hot paths allocate nothing and callers
+//     gate even their clock reads behind the same nil check
+//     (TestNilObserverZeroAlloc enforces this with AllocsPerRun).
+//  2. Deterministic event streams. The pipeline's parallel per-net
+//     sections route their events through IndexBuffers, which collects
+//     per work-item and flushes in index order after the fan-in barrier,
+//     so the stream is identical for every Workers value. The only
+//     nondeterministic Event field is Dur (wall clock); the JSON-lines
+//     sink omits it unless explicitly asked, keeping exported traces
+//     byte-identical across worker counts.
+//  3. Standard library only, like the rest of the repository.
+//
+// Sinks provided here: JSONLines (machine-readable event export),
+// Metrics (aggregating counters/gauges/histograms/span registry with an
+// expvar-style JSON dump and a human-readable summary), Progress (thin
+// io.Writer adapter for coarse progress lines), and Multi (fan-out).
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind discriminates the event taxonomy.
+type Kind uint8
+
+const (
+	// KindSpanBegin opens a long-lived span (run, stage, rip-up pass).
+	KindSpanBegin Kind = iota + 1
+	// KindSpanEnd closes a span. Short per-net operations emit only the
+	// end event (the begin is implied); Dur carries the wall-clock
+	// duration either way.
+	KindSpanEnd
+	// KindCounter is a monotonic increment of Value for Scope.
+	KindCounter
+	// KindGauge records the current Value for Scope (last write wins).
+	KindGauge
+	// KindHeat is a per-tile snapshot (Vals) of a spatial field, e.g.
+	// wire congestion after a stage or a rip-up pass.
+	KindHeat
+	// KindLog is a freeform progress message in Scope, rendered verbatim
+	// by the Progress sink (the io.Writer adapter of the experiment
+	// harness).
+	KindLog
+)
+
+// String names the kind for serialization.
+func (k Kind) String() string {
+	switch k {
+	case KindSpanBegin:
+		return "span_begin"
+	case KindSpanEnd:
+		return "span_end"
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHeat:
+		return "heat"
+	case KindLog:
+		return "log"
+	}
+	return "unknown"
+}
+
+// Event is one telemetry record. It is a value type: no event construction
+// allocates, so the nil-observer fast path is free.
+type Event struct {
+	Kind Kind
+	// Scope names the span, metric, or snapshot (e.g. "stage",
+	// "route.pops", "heat.wire"). Scopes are dot-separated, coarse to
+	// fine; see DESIGN.md "Observability" for the full taxonomy.
+	Scope string
+	// Stage is the pipeline stage (1-4) the event belongs to, 0 outside
+	// any stage.
+	Stage int
+	// Pass is the rip-up (or MCF phase) pass number, 0 when not in a pass.
+	Pass int
+	// Net is the net index or ID the event concerns, -1 when net-less.
+	Net int
+	// Value carries the counter delta or gauge reading.
+	Value float64
+	// Dur is the wall-clock duration of a KindSpanEnd event. It is the
+	// only nondeterministic field; deterministic sinks omit it.
+	Dur time.Duration
+	// Vals is the per-tile field of a KindHeat event (row-major, like
+	// tile.Graph indices).
+	Vals []float64
+}
+
+// Observer receives the event stream. Implementations used with the
+// pipeline's parallel fan-outs only ever see events from the sequential
+// sections or from IndexBuffers.Flush, both single-goroutine; sinks
+// shared across concurrent *runs* (the experiment suite fan-out) must be
+// safe for concurrent use, as all sinks in this package are.
+type Observer interface {
+	Observe(Event)
+}
+
+// Emit forwards e to o when o is non-nil. This is the instrumentation
+// fast path: with no observer configured the call reduces to a nil check,
+// and the Event literal never escapes the caller's stack.
+func Emit(o Observer, e Event) {
+	if o != nil {
+		o.Observe(e)
+	}
+}
+
+// multi fans one stream out to several sinks, in order.
+type multi []Observer
+
+func (m multi) Observe(e Event) {
+	for _, o := range m {
+		o.Observe(e)
+	}
+}
+
+// Multi combines observers into one; nils are dropped. It returns nil
+// when every argument is nil (keeping the zero-overhead fast path) and
+// the observer itself when only one remains.
+func Multi(os ...Observer) Observer {
+	var nz []Observer
+	for _, o := range os {
+		if o != nil {
+			nz = append(nz, o)
+		}
+	}
+	switch len(nz) {
+	case 0:
+		return nil
+	case 1:
+		return nz[0]
+	}
+	return multi(nz)
+}
+
+// IndexBuffers makes parallel per-item instrumentation deterministic: each
+// worker emits into its own item's buffer (no locks, no cross-item
+// ordering), and Flush forwards everything to the observer in item-index
+// order after the fan-in barrier. A nil *IndexBuffers (no observer) is a
+// valid no-op receiver, so call sites need no second nil check.
+type IndexBuffers struct {
+	o   Observer
+	evs [][]Event
+}
+
+// NewIndexBuffers returns buffers for n work items feeding o, or nil when
+// o is nil.
+func NewIndexBuffers(o Observer, n int) *IndexBuffers {
+	if o == nil {
+		return nil
+	}
+	return &IndexBuffers{o: o, evs: make([][]Event, n)}
+}
+
+// Active reports whether events are being collected; workers use it to
+// skip clock reads on the nil fast path.
+func (b *IndexBuffers) Active() bool { return b != nil }
+
+// Emit appends e to item i's buffer. Safe to call concurrently for
+// distinct i; no-op on a nil receiver.
+func (b *IndexBuffers) Emit(i int, e Event) {
+	if b == nil {
+		return
+	}
+	b.evs[i] = append(b.evs[i], e)
+}
+
+// Flush forwards all buffered events in item-index order and resets the
+// buffers. No-op on a nil receiver.
+func (b *IndexBuffers) Flush() {
+	if b == nil {
+		return
+	}
+	for i, evs := range b.evs {
+		for _, e := range evs {
+			b.o.Observe(e)
+		}
+		b.evs[i] = nil
+	}
+}
+
+// progress renders KindLog events as plain lines — the thin adapter that
+// keeps the experiment harness's io.Writer progress signature.
+type progress struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// Progress returns an observer printing each KindLog event's Scope as one
+// line to w (other kinds are ignored), or nil when w is nil. It is safe
+// for concurrent use even when w is not.
+func Progress(w io.Writer) Observer {
+	if w == nil {
+		return nil
+	}
+	return &progress{w: w}
+}
+
+func (p *progress) Observe(e Event) {
+	if e.Kind != KindLog {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	io.WriteString(p.w, e.Scope)
+	io.WriteString(p.w, "\n")
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles starts the stdlib profilers selected by non-empty paths —
+// a CPU profile (runtime/pprof) and an execution trace (runtime/trace) —
+// and returns a stop function that finishes both and, when memPath is
+// non-empty, writes a heap profile. Both cmd/rabid and cmd/tables expose
+// these as -cpuprofile, -trace, and -memprofile.
+func StartProfiles(cpuPath, tracePath, memPath string) (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if cpuPath != "" {
+		if cpuF, err = os.Create(cpuPath); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		if traceF, err = os.Create(tracePath); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err = trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // get up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -9,9 +9,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 	"repro/internal/tile"
 )
@@ -34,6 +36,17 @@ type Options struct {
 	// multicommodity-flow router uses this to route under its own
 	// exponential edge lengths.
 	Weight func(e int) float64
+	// Obs receives router telemetry: per-net wavefront pop/push counters,
+	// rip-up pass spans with the per-pass overflow trajectory, and
+	// congestion-heat snapshots after every pass. nil (the default)
+	// disables instrumentation at zero cost.
+	Obs obs.Observer
+	// Stage labels emitted telemetry with the pipeline stage (0 outside
+	// the RABID pipeline).
+	Stage int
+	// Pass labels emitted telemetry with the rip-up pass number;
+	// ReduceCongestion sets it on the per-pass Options copy.
+	Pass int
 }
 
 // DefaultOptions returns the parameter set used by the experiments.
@@ -107,8 +120,10 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options) (*rtree.Tree, error) {
 	key[srcIdx] = 0
 	q := pq{{srcIdx, 0}}
 	var nbuf []geom.Pt
+	pops, pushes := 0, 1
 	for len(q) > 0 && len(want) > 0 {
 		it := heap.Pop(&q).(pqItem)
+		pops++
 		u := it.node
 		if done[u] {
 			continue
@@ -130,8 +145,13 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options) (*rtree.Tree, error) {
 				pathCost[v] = pathCost[u] + ec
 				pred[v] = u
 				heap.Push(&q, pqItem{v, k})
+				pushes++
 			}
 		}
+	}
+	if opt.Obs != nil {
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.pops", Stage: opt.Stage, Net: n.ID, Value: float64(pops)})
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.pushes", Stage: opt.Stage, Net: n.ID, Value: float64(pushes)})
 	}
 	if len(want) > 0 {
 		return nil, fmt.Errorf("route: net %d: %d sinks unreachable", n.ID, len(want))
@@ -183,9 +203,13 @@ func RemoveUsage(g *tile.Graph, rt *rtree.Tree) {
 
 // RipupPass performs one full Nair-style pass: every net, in the given
 // order, is deleted entirely and rerouted under the current congestion.
-// routes is updated in place (indexed like nets).
+// routes is updated in place (indexed like nets). With an observer
+// attached it counts reroutes attempted versus improved/degraded (by
+// routed wirelength), the convergence signal of the Nair iteration.
 func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, opt Options) error {
+	reroutes, improved, degraded := 0, 0, 0
 	for _, i := range order {
+		oldEdges := routes[i].NumEdges()
 		RemoveUsage(g, routes[i])
 		rt, err := Reroute(g, nets[i], opt)
 		if err != nil {
@@ -194,20 +218,47 @@ func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order [
 		}
 		routes[i] = rt
 		AddUsage(g, rt)
+		reroutes++
+		if n := rt.NumEdges(); n < oldEdges {
+			improved++
+		} else if n > oldEdges {
+			degraded++
+		}
+	}
+	if opt.Obs != nil {
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.reroutes", Stage: opt.Stage, Pass: opt.Pass, Net: -1, Value: float64(reroutes)})
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.improved", Stage: opt.Stage, Pass: opt.Pass, Net: -1, Value: float64(improved)})
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.degraded", Stage: opt.Stage, Pass: opt.Pass, Net: -1, Value: float64(degraded)})
 	}
 	return nil
 }
 
 // ReduceCongestion is Stage 2: up to maxPasses full rip-up-and-reroute
 // passes, stopping early once no edge exceeds capacity. It returns the
-// number of passes executed.
+// number of passes executed. Each pass is a trace span carrying the
+// post-pass overflow trajectory and a congestion-heat snapshot.
 func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options) (int, error) {
 	passes := 0
 	for passes < maxPasses {
 		if g.WireCongestion().Overflow == 0 && passes > 0 {
 			break
 		}
-		if err := RipupPass(g, nets, routes, order, opt); err != nil {
+		popt := opt
+		popt.Pass = passes + 1
+		var t0 time.Time
+		if opt.Obs != nil {
+			t0 = time.Now()
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1})
+		}
+		err := RipupPass(g, nets, routes, order, popt)
+		if opt.Obs != nil {
+			ws := g.WireCongestion()
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "ripup.overflow", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Value: float64(ws.Overflow)})
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "ripup.wire_max", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Value: ws.Max})
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindHeat, Scope: "heat.wire", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Vals: wireHeat(g)})
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Dur: time.Since(t0)})
+		}
+		if err != nil {
 			return passes, err
 		}
 		passes++
@@ -216,6 +267,24 @@ func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, 
 		}
 	}
 	return passes, nil
+}
+
+// wireHeat is the per-tile congestion field emitted with heat snapshots:
+// each tile's maximum incident w(e)/W(e).
+func wireHeat(g *tile.Graph) []float64 {
+	heat := make([]float64, g.NumTiles())
+	var nbuf []geom.Pt
+	for v := range heat {
+		pv := g.TileAt(v)
+		nbuf = g.Neighbors(pv, nbuf[:0])
+		for _, pw := range nbuf {
+			e, _ := g.EdgeBetween(pv, pw)
+			if c := float64(g.Usage(e)) / float64(g.Capacity(e)); c > heat[v] {
+				heat[v] = c
+			}
+		}
+	}
+	return heat
 }
 
 // BufferAwarePath finds the cheapest tail-to-head reconnection for a ripped
@@ -262,8 +331,10 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.
 	headIdx := g.TileIndex(head)
 	var nbuf []geom.Pt
 	goal := -1
+	pops, pushes := 0, 1
 	for len(q) > 0 {
 		it := heap.Pop(&q).(pqItem)
+		pops++
 		s := it.node
 		if done[s] {
 			continue
@@ -290,6 +361,7 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.
 					dist[ns] = nd
 					pred[ns] = int32(s)
 					heap.Push(&q, pqItem{ns, nd})
+					pushes++
 				}
 			}
 			// Buffer at the new tile.
@@ -298,8 +370,13 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.
 				dist[ns] = nd
 				pred[ns] = int32(s)
 				heap.Push(&q, pqItem{ns, nd})
+				pushes++
 			}
 		}
+	}
+	if opt.Obs != nil {
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.bap.pops", Stage: opt.Stage, Net: -1, Value: float64(pops)})
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.bap.pushes", Stage: opt.Stage, Net: -1, Value: float64(pushes)})
 	}
 	if goal < 0 {
 		return nil, fmt.Errorf("route: no reconnection from %v to %v", tail, head)

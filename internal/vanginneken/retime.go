@@ -3,9 +3,11 @@ package vanginneken
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/delay"
+	"repro/internal/obs"
 	"repro/internal/tech"
 )
 
@@ -56,6 +58,7 @@ func RetimeCriticalNets(res *core.Result, k int, lib []tech.Gate) ([]RetimeRepor
 		k = len(order)
 	}
 	g := res.Graph
+	o := res.Params.Observer
 	var reports []RetimeReport
 	for _, r := range order[:k] {
 		i := r.idx
@@ -65,7 +68,7 @@ func RetimeCriticalNets(res *core.Result, k int, lib []tech.Gate) ([]RetimeRepor
 		for _, b := range res.Assignments[i].Buffers {
 			g.RemoveBuffer(g.TileIndex(rt.Tile[b.Node]))
 		}
-		sol, err := Insert(rt, Config{
+		cfg := Config{
 			Tech:    res.Params.Tech,
 			TileUm:  res.Circuit.TileUm,
 			Library: lib,
@@ -73,9 +76,22 @@ func RetimeCriticalNets(res *core.Result, k int, lib []tech.Gate) ([]RetimeRepor
 				ti := g.TileIndex(rt.Tile[v])
 				return g.UsedSites(ti) < g.Sites(ti)
 			},
-		})
+		}
+		var ist InsertStats
+		var t0 time.Time
+		if o != nil {
+			cfg.Stats = &ist
+			t0 = time.Now()
+		}
+		sol, err := Insert(rt, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("vanginneken: net %d: %w", i, err)
+		}
+		if o != nil {
+			id := res.Circuit.Nets[i].ID
+			obs.Emit(o, obs.Event{Kind: obs.KindCounter, Scope: "retime.candidates", Net: id, Value: float64(ist.Candidates)})
+			obs.Emit(o, obs.Event{Kind: obs.KindCounter, Scope: "retime.pruned", Net: id, Value: float64(ist.Pruned)})
+			obs.Emit(o, obs.Event{Kind: obs.KindSpanEnd, Scope: "net.retime", Net: id, Dur: time.Since(t0)})
 		}
 		for _, p := range sol.Buffers {
 			g.AddBuffer(g.TileIndex(rt.Tile[p.Buf.Node]))

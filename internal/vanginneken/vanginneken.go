@@ -42,6 +42,17 @@ type Config struct {
 	// like rt.SinkNode. nil means zero for all sinks, in which case the
 	// negated root RAT is exactly the worst source-to-sink Elmore delay.
 	SinkRAT []float64
+	// Stats, when non-nil, is overwritten with the candidate-generation
+	// counters of this Insert call (telemetry; no behavioural effect).
+	Stats *InsertStats
+}
+
+// InsertStats counts the Pareto-set work of one Insert call: Candidates
+// is the number of (cap, RAT) options generated before pruning, Pruned
+// the number dropped as dominated by the frontier.
+type InsertStats struct {
+	Candidates int
+	Pruned     int
 }
 
 // Solution is the optimal buffering found.
@@ -121,6 +132,7 @@ func Insert(rt *rtree.Tree, cfg Config) (Solution, error) {
 	}
 
 	states := make([]nodeState, n)
+	candidates, prunedCount := 0, 0
 	for _, v := range rt.PostOrder() {
 		kids := rt.Children(v)
 		// Junction options: start from the local sink load.
@@ -142,7 +154,9 @@ func Insert(rt *rtree.Tree, cfg Config) (Solution, error) {
 					})
 				}
 			}
+			candidates += len(merged)
 			acc = pruneJ(merged)
+			prunedCount += len(merged) - len(acc)
 		}
 		states[v].junction = acc
 		// Entry options: pass-through plus buffered variants.
@@ -164,7 +178,12 @@ func Insert(rt *rtree.Tree, cfg Config) (Solution, error) {
 				}
 			}
 		}
+		candidates += len(entry)
 		states[v].entry = pruneO(entry)
+		prunedCount += len(entry) - len(states[v].entry)
+	}
+	if cfg.Stats != nil {
+		*cfg.Stats = InsertStats{Candidates: candidates, Pruned: prunedCount}
 	}
 
 	// Driver: q = rat - Rd * cap over the root's entry options.

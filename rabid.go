@@ -36,6 +36,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/mcf"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/siteplan"
 	"repro/internal/slew"
 	"repro/internal/tech"
@@ -260,6 +261,59 @@ func RouteMCF(c *Circuit, capacity int, opt MCFOptions) (*MCFResult, error) {
 	return mcf.Route(g, c.Nets, opt)
 }
 
+// --- observability --------------------------------------------------------
+
+// Observability types: Params.Observer taps a run's structured telemetry —
+// hierarchical trace spans (run → stage → rip-up pass → per-net
+// operation), work counters and state gauges, and per-stage congestion
+// heat snapshots. With no observer attached the pipeline builds no events
+// and reads no clocks; with one attached the event stream is deterministic
+// for every Params.Workers value (only span durations vary).
+type (
+	// Observer is the telemetry hook (Params.Observer).
+	Observer = obs.Observer
+	// TelemetryEvent is one record of the event stream.
+	TelemetryEvent = obs.Event
+	// TelemetryKind discriminates span/counter/gauge/heat/log events.
+	TelemetryKind = obs.Kind
+	// MetricsObserver aggregates counters, gauges, power-of-two-bucket
+	// histograms, and span statistics, keyed "scope.stage"; it dumps as
+	// expvar-style JSON (WriteJSON) or a human summary (WriteSummary).
+	MetricsObserver = obs.Metrics
+	// JSONObserver streams events as JSON lines. By default it omits the
+	// wall-clock duration field so traces are byte-identical across worker
+	// counts; set Durations to true to include it.
+	JSONObserver = obs.JSONLines
+)
+
+// NewJSONObserver returns an observer writing one JSON object per event
+// to w (see JSONObserver; check Err after the run).
+func NewJSONObserver(w io.Writer) *JSONObserver { return obs.NewJSONLines(w) }
+
+// NewMetricsObserver returns an empty aggregating metrics registry.
+func NewMetricsObserver() *MetricsObserver { return obs.NewMetrics() }
+
+// MultiObserver fans events out to several observers; nils are dropped
+// and a fully-nil argument list returns nil (keeping the zero-cost path).
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
+
+// ProgressObserver renders log-kind events (the experiment harness's
+// progress lines) to w, one per line.
+func ProgressObserver(w io.Writer) Observer { return obs.Progress(w) }
+
+// SetTableObserver installs an observer tapping every RABID run performed
+// by Table and receiving its progress lines as log events; the sink must
+// be safe for concurrent use (all sinks in this package are). Pass nil to
+// detach. Not safe to call while a Table call is in flight.
+func SetTableObserver(o Observer) { exp.Observer = o }
+
+// StartProfiles starts the stdlib profilers selected by non-empty paths —
+// a CPU profile, a runtime/trace, and/or a heap profile written on stop —
+// and returns the function that stops them and flushes the files.
+func StartProfiles(cpuPath, tracePath, memPath string) (stop func() error, err error) {
+	return obs.StartProfiles(cpuPath, tracePath, memPath)
+}
+
 // --- visualization -------------------------------------------------------
 
 // PlanSVG renders a completed run (blocks, congestion heat, routes,
@@ -283,7 +337,7 @@ func BufferDensityASCII(res *Result) string {
 func Table(n int, log io.Writer) (*textable.Table, error) {
 	switch n {
 	case 1:
-		return exp.Table1()
+		return exp.Table1(log)
 	case 2:
 		return exp.Table2(log)
 	case 3:
