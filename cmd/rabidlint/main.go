@@ -1,0 +1,102 @@
+// Command rabidlint runs the repository's static-analysis suite: six
+// determinism and numeric-safety checks over every package of the module
+// (see internal/lint and DESIGN.md "Static analysis").
+//
+// Usage:
+//
+//	rabidlint [-json] [packages]
+//
+// With no arguments (or "./...") the whole module is linted. Package
+// arguments restrict *reporting*: "./internal/route" lints one package,
+// "./internal/route/..." a subtree (the whole module is always loaded,
+// since type information needs every dependency).
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	root := flag.String("C", ".", "module root directory to lint")
+	flag.Parse()
+
+	mod, err := lint.Load(*root, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rabidlint:", err)
+		os.Exit(2)
+	}
+	only, err := selectPackages(mod, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rabidlint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(mod, only)
+
+	if *jsonOut {
+		// Always an array (never null) so downstream tooling can index
+		// unconditionally.
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "rabidlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rabidlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// selectPackages maps CLI patterns to a set of module import paths. nil
+// means "everything".
+func selectPackages(mod *lint.Module, args []string) (map[string]bool, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	only := map[string]bool{}
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." || arg == "all" {
+			return nil, nil
+		}
+		rec := false
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			rec, arg = true, rest
+		}
+		rel := filepath.ToSlash(filepath.Clean(arg))
+		ip := mod.Path
+		if rel != "." {
+			ip = mod.Path + "/" + strings.TrimPrefix(rel, "./")
+		}
+		matched := false
+		for _, pkg := range mod.Pkgs {
+			if pkg.ImportPath == ip || (rec && strings.HasPrefix(pkg.ImportPath, ip+"/")) {
+				only[pkg.ImportPath] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no package in %s", arg, mod.Path)
+		}
+	}
+	return only, nil
+}

@@ -173,6 +173,7 @@ func (f *plan) blockShapes(b int) []shape {
 // pruneShapes keeps the Pareto frontier (no shape both wider and taller).
 func pruneShapes(in []shape) []shape {
 	sort.Slice(in, func(a, b int) bool {
+		//rabid:allow floateq sort tie-break: exact equality falls through to the secondary key; an epsilon would break strict weak ordering
 		if in[a].w != in[b].w {
 			return in[a].w < in[b].w
 		}

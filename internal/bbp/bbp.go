@@ -24,6 +24,7 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/rtree"
 	"repro/internal/steiner"
@@ -50,9 +51,11 @@ type Result struct {
 // nets must already be decomposed (netlist.Circuit.DecomposeTwoPin), as in
 // the paper's comparison. capacity is the uniform edge capacity W(e) — pass
 // the capacity of the matching RABID run so both tools face the same wire
-// budget.
-func Run(c *netlist.Circuit, capacity int, t tech.Tech) (*Result, error) {
-	t0 := time.Now()
+// budget. o taps the run with a "bbp.run" span; with a nil observer no
+// clock is read and Result.CPU stays zero.
+func Run(c *netlist.Circuit, capacity int, t tech.Tech, o obs.Observer) (*Result, error) {
+	t0 := obs.Now(o)
+	obs.Emit(o, obs.Event{Kind: obs.KindSpanBegin, Scope: "bbp.run", Net: -1})
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,7 +101,8 @@ func Run(c *netlist.Circuit, capacity int, t tech.Tech) (*Result, error) {
 	res.WirelenMm = float64(wireTiles) * c.TileUm / 1000
 	res.MaxDelayPs, res.AvgDelayPs = dst.MaxPs(), dst.AvgPs()
 	res.MTAP = MTAPFromCounts(bufPerTile, c.TileUm)
-	res.CPU = time.Since(t0)
+	res.CPU = obs.Since(o, t0)
+	obs.Emit(o, obs.Event{Kind: obs.KindSpanEnd, Scope: "bbp.run", Net: -1, Dur: res.CPU})
 	return res, nil
 }
 

@@ -45,7 +45,7 @@ func twoPin(t *testing.T, nets int) *netlist.Circuit {
 
 func TestRunBasic(t *testing.T) {
 	c := twoPin(t, 8)
-	res, err := Run(c, 6, tech.Default018())
+	res, err := Run(c, 6, tech.Default018(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestShortNetsGetNoBuffers(t *testing.T) {
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(c, 4, tech.Default018())
+	res, err := Run(c, 4, tech.Default018(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestBuffersClumpAtBlockEdges(t *testing.T) {
 	// Nets crossing the central block must have their mid buffers snapped
 	// to the block boundary: MTAP should exceed a uniform distribution.
 	c := twoPin(t, 12)
-	res, err := Run(c, 8, tech.Default018())
+	res, err := Run(c, 8, tech.Default018(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,12 +139,12 @@ func TestBuffersClumpAtBlockEdges(t *testing.T) {
 
 func TestRunRejections(t *testing.T) {
 	c := twoPin(t, 2)
-	if _, err := Run(c, 0, tech.Default018()); err == nil {
+	if _, err := Run(c, 0, tech.Default018(), nil); err == nil {
 		t.Error("capacity 0 accepted")
 	}
 	multi := twoPin(t, 2)
 	multi.Nets[0].Sinks = append(multi.Nets[0].Sinks, multi.Nets[0].Sinks[0])
-	if _, err := Run(multi, 4, tech.Default018()); err == nil {
+	if _, err := Run(multi, 4, tech.Default018(), nil); err == nil {
 		t.Error("multi-sink net accepted")
 	}
 }
@@ -171,7 +171,7 @@ func TestDecomposedSuiteCircuit(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := full.DecomposeTwoPin()
-	res, err := Run(c, 8, tech.Default018())
+	res, err := Run(c, 8, tech.Default018(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

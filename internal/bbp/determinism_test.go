@@ -1,0 +1,78 @@
+package bbp
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// generateTwoPin builds the named suite circuit from its spec seed and
+// decomposes it for BBP.
+func generateTwoPin(t *testing.T, opt floorplan.Options) *netlist.Circuit {
+	t.Helper()
+	spec, err := floorplan.BySuiteName("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := floorplan.Generate(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.DecomposeTwoPin()
+}
+
+// TestSeededDeterminism locks the globalrand invariant end to end: all
+// randomness flows from the spec/option seed through explicit *rand.Rand
+// values (no math/rand package-level state anywhere, enforced by
+// rabidlint), so generating and BBP-planning the same circuit twice must
+// agree buffer for buffer and stat for stat.
+func TestSeededDeterminism(t *testing.T) {
+	for _, opt := range []floorplan.Options{{}, {Annealed: true}} {
+		run := func() (*netlist.Circuit, *Result) {
+			c := generateTwoPin(t, opt)
+			res, err := Run(c, 8, tech.Default018(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c, res
+		}
+		ca, a := run()
+		cb, b := run()
+		if len(ca.Nets) != len(cb.Nets) {
+			t.Fatalf("annealed=%v: net counts differ: %d vs %d", opt.Annealed, len(ca.Nets), len(cb.Nets))
+		}
+		if a.Buffers != b.Buffers || a.Overflows != b.Overflows ||
+			a.MTAP != b.MTAP || a.WirelenMm != b.WirelenMm ||
+			a.WireMax != b.WireMax || a.WireAvg != b.WireAvg ||
+			a.MaxDelayPs != b.MaxDelayPs || a.AvgDelayPs != b.AvgDelayPs {
+			t.Fatalf("annealed=%v: results differ:\n%+v\n%+v", opt.Annealed, a, b)
+		}
+		for i := range a.Routes {
+			pa, pb := a.Routes[i].EdgePairs(), b.Routes[i].EdgePairs()
+			if len(pa) != len(pb) {
+				t.Fatalf("annealed=%v: net %d route size differs", opt.Annealed, i)
+			}
+			for k := range pa {
+				if pa[k] != pb[k] {
+					t.Fatalf("annealed=%v: net %d edge %d differs: %v vs %v", opt.Annealed, i, k, pa[k], pb[k])
+				}
+			}
+		}
+	}
+}
+
+// TestUntappedRunIsClockFree asserts the wallclock invariant at the API
+// boundary: with no observer, Run must not read the clock at all, so the
+// reported CPU is exactly zero (the gated obs.Now/obs.Since fast path).
+func TestUntappedRunIsClockFree(t *testing.T) {
+	c := generateTwoPin(t, floorplan.Options{})
+	res, err := Run(c, 8, tech.Default018(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU != 0 {
+		t.Errorf("untapped Run read the wall clock: CPU = %v, want 0", res.CPU)
+	}
+}

@@ -170,20 +170,19 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 	}
 	res := &Result{Circuit: c, Params: p}
 
-	var tRun time.Time
+	tRun := obs.Now(st.obs)
 	if st.obs != nil {
-		tRun = time.Now()
 		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "run", Net: -1})
 	}
 	run := func(stage int, f func() error) error {
 		st.stage = stage
 		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "stage", Stage: stage, Net: -1})
-		t0 := time.Now()
+		t0 := obs.Now(st.obs)
 		if err := f(); err != nil {
 			return fmt.Errorf("core: stage %d: %w", stage, err)
 		}
 		s := st.snapshot(stage)
-		s.CPU = time.Since(t0)
+		s.CPU = obs.Since(st.obs, t0)
 		res.Stages = append(res.Stages, s)
 		st.emitStage(s)
 		return nil
@@ -203,7 +202,7 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 		}
 	}
 	if st.obs != nil {
-		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "run", Net: -1, Dur: time.Since(tRun)})
+		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "run", Net: -1, Dur: obs.Since(st.obs, tRun)})
 	}
 	res.Capacity = st.g.Capacity(0)
 	res.Graph = st.g
@@ -249,10 +248,7 @@ func (s *state) emitStage(ss StageStats) {
 func (s *state) stage1() error {
 	bufs := obs.NewIndexBuffers(s.obs, len(s.c.Nets))
 	if err := par.ForEach(s.p.Workers, len(s.c.Nets), func(i int) error {
-		var t0 time.Time
-		if bufs.Active() {
-			t0 = time.Now()
-		}
+		t0 := bufs.Now()
 		rt, err := steiner.InitialRoute(s.c.Nets[i], s.p.Alpha)
 		if err != nil {
 			return err
@@ -260,7 +256,7 @@ func (s *state) stage1() error {
 		s.routes[i] = rt
 		if bufs.Active() {
 			bufs.Emit(i, obs.Event{Kind: obs.KindSpanEnd, Scope: "net.steiner", Stage: 1,
-				Net: s.c.Nets[i].ID, Dur: time.Since(t0)})
+				Net: s.c.Nets[i].ID, Dur: bufs.Since(t0)})
 		}
 		return nil
 	}); err != nil {
@@ -360,10 +356,9 @@ func (s *state) assignNet(i int) error {
 	var a bufferdp.Assignment
 	var dp bufferdp.DPStats
 	var dpp *bufferdp.DPStats
-	var t0 time.Time
+	t0 := obs.Now(s.obs)
 	if s.obs != nil {
 		dpp = &dp
-		t0 = time.Now()
 	}
 	for {
 		q := func(v int) float64 {
@@ -407,7 +402,7 @@ func (s *state) assignNet(i int) error {
 			emit("dp.site_contention", float64(len(banned)))
 			emit("dp.reruns", float64(len(banned)))
 		}
-		s.obs.Observe(obs.Event{Kind: obs.KindSpanEnd, Scope: "net.assign", Stage: s.stage, Net: id, Dur: time.Since(t0)})
+		s.obs.Observe(obs.Event{Kind: obs.KindSpanEnd, Scope: "net.assign", Stage: s.stage, Net: id, Dur: obs.Since(s.obs, t0)})
 	}
 	s.asg[i] = a
 	s.hasAsg[i] = true
@@ -452,13 +447,12 @@ func (s *state) reworkNet(i int) error {
 	n := s.c.Nets[i]
 	ropt := s.p.RouteOpt
 	ropt.Obs, ropt.Stage = s.obs, s.stage
-	var t0 time.Time
+	t0 := obs.Now(s.obs)
 	nPaths := 0
 	if s.obs != nil {
-		t0 = time.Now()
 		defer func() {
 			s.obs.Observe(obs.Event{Kind: obs.KindCounter, Scope: "rework.twopaths", Stage: s.stage, Net: n.ID, Value: float64(nPaths)})
-			s.obs.Observe(obs.Event{Kind: obs.KindSpanEnd, Scope: "net.rework", Stage: s.stage, Net: n.ID, Dur: time.Since(t0)})
+			s.obs.Observe(obs.Event{Kind: obs.KindSpanEnd, Scope: "net.rework", Stage: s.stage, Net: n.ID, Dur: obs.Since(s.obs, t0)})
 		}()
 	}
 	processed := map[[2]geom.Pt]bool{}

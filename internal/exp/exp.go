@@ -299,7 +299,9 @@ func RunTable5Pair(name string) (*Table5Pair, error) {
 		return nil, err
 	}
 	two := c.DecomposeTwoPin()
-	res, err := core.Run(two, ParamsFor(name))
+	p := ParamsFor(name)
+	p.Observer = Observer
+	res, err := core.Run(two, p)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +317,7 @@ func RunTable5Pair(name string) (*Table5Pair, error) {
 	for _, s := range res.Stages[:len(res.Stages)-1] {
 		pair.Rabid.CPU += s.CPU
 	}
-	pair.Bbp, err = bbp.Run(two, res.Capacity, ParamsFor(name).Tech)
+	pair.Bbp, err = bbp.Run(two, res.Capacity, ParamsFor(name).Tech, Observer)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,439 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"runtime"
+	"strings"
+)
+
+// --- shared helpers -------------------------------------------------------
+
+// pkgName resolves an expression to the *types.PkgName it denotes, or nil.
+func (p *pass) pkgName(e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := p.pkg.Info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// selOf matches a qualified reference pkgPath.name and returns the selector.
+func (p *pass) selOf(e ast.Expr, pkgPath string) (*ast.SelectorExpr, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	pn := p.pkgName(sel.X)
+	return sel, pn != nil && pn.Imported().Path() == pkgPath
+}
+
+// object resolves an identifier's types.Object through uses or defs.
+func (p *pass) object(id *ast.Ident) types.Object {
+	if o := p.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.pkg.Info.Defs[id]
+}
+
+// eachStmtList visits every statement list of the package (block bodies,
+// switch cases, select clauses) — the granularity at which "a later
+// statement in the same list" is meaningful.
+func (p *pass) eachStmtList(fn func(list []ast.Stmt)) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				fn(n.List)
+			case *ast.CaseClause:
+				fn(n.Body)
+			case *ast.CommClause:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// --- maprange -------------------------------------------------------------
+
+// checkMapRange flags ranging over a map in result-affecting packages. Map
+// iteration order is randomized per run, so any map range whose body feeds
+// routing, buffering, or ordering decisions breaks run-to-run determinism.
+// The one recognized safe idiom is key collection followed by a sort in
+// the same statement list:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Ints(keys)
+//
+// Anything else needs sorted keys or a //rabid:allow maprange annotation.
+func checkMapRange(p *pass) {
+	if !resultAffecting[p.pathElem()] {
+		return
+	}
+	p.eachStmtList(func(list []ast.Stmt) {
+		for i, st := range list {
+			rs, ok := st.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			t := p.pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				continue
+			}
+			if p.isSortedKeyCollection(rs, list[i+1:]) {
+				continue
+			}
+			p.report("maprange", rs.Pos(),
+				"map iteration order is nondeterministic in a result-affecting package; "+
+					"collect and sort the keys first (or annotate: //rabid:allow maprange <reason>)")
+		}
+	})
+}
+
+// isSortedKeyCollection recognizes a range body that only appends to one
+// local slice which a later statement in the same list sorts.
+func (p *pass) isSortedKeyCollection(rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Tok != token.ASSIGN {
+		return false
+	}
+	target, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" || len(call.Args) < 1 {
+		return false
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || p.object(first) != p.object(target) {
+		return false
+	}
+	obj := p.object(target)
+	// A later statement must hand the slice to sort.* or slices.Sort*.
+	for _, st := range rest {
+		sorted := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := p.pkgName(sel.X)
+			if pn == nil {
+				return true
+			}
+			if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+			for _, a := range call.Args {
+				if id, ok := a.(*ast.Ident); ok && p.object(id) == obj {
+					sorted = true
+				}
+			}
+			return true
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+// --- wallclock ------------------------------------------------------------
+
+// checkWallClock flags raw time.Now / time.Since reads. All pipeline timing
+// goes through internal/obs's gated clock (obs.Now / obs.Since and the
+// IndexBuffers equivalents), so untapped runs never touch the wall clock;
+// only the obs package itself may read it.
+func checkWallClock(p *pass) {
+	if p.pathElem() == clockPackage {
+		return
+	}
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := p.selOf(se, "time")
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+				p.report("wallclock", sel.Pos(), fmt.Sprintf(
+					"raw time.%s outside internal/obs; use the gated clock (obs.Now/obs.Since) "+
+						"so untapped runs stay clock-free (or annotate: //rabid:allow wallclock <reason>)",
+					sel.Sel.Name))
+			}
+			return true
+		})
+	}
+}
+
+// --- globalrand -----------------------------------------------------------
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared global source, whose draw order depends on everything else in the
+// process. Constructors (New, NewSource, NewZipf) are fine: they are how
+// code threads an explicit seeded *rand.Rand.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "NormFloat64": true, "ExpFloat64": true, "Read": true,
+}
+
+// checkGlobalRand flags math/rand package-level state in non-test code;
+// deterministic runs require an explicit seeded *rand.Rand threaded
+// through the API.
+func checkGlobalRand(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := p.selOf(se, "math/rand")
+			if !ok {
+				return true
+			}
+			if globalRandFuncs[sel.Sel.Name] {
+				p.report("globalrand", sel.Pos(), fmt.Sprintf(
+					"rand.%s uses the shared global source; thread a seeded *rand.Rand instead "+
+						"(or annotate: //rabid:allow globalrand <reason>)", sel.Sel.Name))
+			}
+			return true
+		})
+	}
+}
+
+// --- floateq --------------------------------------------------------------
+
+// checkFloatEq flags == / != between floating-point operands. Exact float
+// equality is almost always a rounding accident waiting to happen; compare
+// through an epsilon helper instead. Two exact comparisons are recognized
+// as sound and exempt: against literal zero (the conventional "unset"
+// sentinel, exact by IEEE-754) and against math.Inf(...) (the pipeline's
+// +Inf sentinel, likewise exact).
+func checkFloatEq(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !p.isFloat(be.X) && !p.isFloat(be.Y) {
+				return true
+			}
+			if p.isExactSentinel(be.X) || p.isExactSentinel(be.Y) {
+				return true
+			}
+			p.report("floateq", be.OpPos, fmt.Sprintf(
+				"exact floating-point %s; compare via an epsilon helper, or against the 0 / math.Inf "+
+					"sentinels (or annotate: //rabid:allow floateq <reason>)", be.Op))
+			return true
+		})
+	}
+}
+
+func (p *pass) isFloat(e ast.Expr) bool {
+	t := p.pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactSentinel reports whether e is a comparison operand with an exact
+// representation: the constant 0 or a math.Inf(...) call.
+func (p *pass) isExactSentinel(e ast.Expr) bool {
+	if tv, ok := p.pkg.Info.Types[e]; ok && tv.Value != nil {
+		if tv.Value.Kind() == constant.Float || tv.Value.Kind() == constant.Int {
+			return constant.Sign(tv.Value) == 0
+		}
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := p.selOf(call.Fun, "math"); ok && sel.Sel.Name == "Inf" {
+			return true
+		}
+	}
+	return false
+}
+
+// --- narrowcast -----------------------------------------------------------
+
+// checkNarrowCast flags integer conversions to a strictly smaller type with
+// no visible bounds guard — the overflow class behind PR 1's
+// predecessor-label bug, where int32(...) of a tile-count product silently
+// wrapped on large grids. A conversion is considered guarded when the
+// enclosing function compares the converted expression (textually
+// identical) against a bound anywhere, which covers both if-guards before
+// the cast and loop conditions bounding it.
+func checkNarrowCast(p *pass) {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	if sizes == nil {
+		sizes = &types.StdSizes{WordSize: 8, MaxAlign: 8}
+	}
+	for _, f := range p.pkg.Files {
+		var funcs []ast.Node // innermost enclosing FuncDecl/FuncLit stack
+		var walk func(n ast.Node)
+		walk = func(root ast.Node) {
+			ast.Inspect(root, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					if n != root {
+						funcs = append(funcs, n)
+						walk(n)
+						funcs = funcs[:len(funcs)-1]
+						return false
+					}
+				case *ast.CallExpr:
+					p.checkOneCast(n, sizes, funcs)
+				}
+				return true
+			})
+		}
+		walk(f)
+	}
+}
+
+func (p *pass) checkOneCast(call *ast.CallExpr, sizes types.Sizes, funcs []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst, dok := basicInt(tv.Type)
+	src, sok := basicInt(p.pkg.Info.TypeOf(call.Args[0]))
+	if !dok || !sok {
+		return
+	}
+	// Constant operands are range-checked by the compiler itself.
+	if atv, ok := p.pkg.Info.Types[call.Args[0]]; ok && atv.Value != nil {
+		return
+	}
+	if sizes.Sizeof(dst) >= sizes.Sizeof(src) {
+		return
+	}
+	if len(funcs) > 0 && p.hasBoundsGuard(funcs[len(funcs)-1], call.Args[0]) {
+		return
+	}
+	p.report("narrowcast", call.Pos(), fmt.Sprintf(
+		"%s(%s) narrows without a bounds guard in the enclosing function; "+
+			"check the range first (or annotate: //rabid:allow narrowcast <reason>)",
+		types.ExprString(call.Fun), types.ExprString(call.Args[0])))
+}
+
+func basicInt(t types.Type) (*types.Basic, bool) {
+	if t == nil {
+		return nil, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// hasBoundsGuard reports whether fn contains an ordered comparison with an
+// operand textually identical to expr.
+func (p *pass) hasBoundsGuard(fn ast.Node, expr ast.Expr) bool {
+	want := types.ExprString(expr)
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			if types.ExprString(be.X) == want || types.ExprString(be.Y) == want {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// --- errdrop --------------------------------------------------------------
+
+// checkErrDrop flags expression statements that call one of this module's
+// own error-returning functions and ignore the result. Silently dropped
+// errors are exactly how PR 1's delay-evaluation failures went unnoticed;
+// handle the error or assign it explicitly.
+func checkErrDrop(p *pass) {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != p.mod.Path && !strings.HasPrefix(path, p.mod.Path+"/") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !returnsError(sig) {
+				return true
+			}
+			p.report("errdrop", es.Pos(), fmt.Sprintf(
+				"error result of %s discarded; handle it or assign explicitly "+
+					"(or annotate: //rabid:allow errdrop <reason>)", fn.Name()))
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call's static callee when it is a declared
+// function or method (calls through function values are out of scope).
+func (p *pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := p.object(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.object(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}

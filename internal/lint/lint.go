@@ -1,0 +1,199 @@
+// Package lint is rabidlint: a stdlib-only static-analysis suite that
+// machine-checks the determinism and numeric-safety invariants this
+// repository's results depend on. The pipeline's headline guarantees —
+// bit-identical results for every Params.Workers value and byte-identical
+// observer event streams — are properties of the source, not just of the
+// tests: one unsorted map range in a result-affecting loop, one ungated
+// wall-clock read, or one unchecked integer narrowing silently breaks
+// reproducibility of the paper's tables. rabidlint walks every package of
+// the module over go/parser + go/types and reports violations of six
+// invariant classes (see checks.go); CI runs it on every PR.
+//
+// Sites that are provably safe for a reason the analyzer cannot see carry
+// an annotation:
+//
+//	//rabid:allow <check> <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory — an annotation without one is itself reported (check "allow")
+// and suppresses nothing, so every suppression documents its argument.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	// Check is the check ID ("maprange", "wallclock", "globalrand",
+	// "floateq", "narrowcast", "errdrop", or "allow" for a malformed
+	// annotation).
+	Check string `json:"check"`
+	// File is the offending file, relative to the module root.
+	File string `json:"file"`
+	// Line and Col are 1-based source coordinates.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message explains the violation and the accepted remedies.
+	Message string `json:"message"`
+}
+
+// Pos renders the finding's position as file:line:col.
+func (f Finding) Pos() string { return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col) }
+
+func (f Finding) String() string { return fmt.Sprintf("%s: [%s] %s", f.Pos(), f.Check, f.Message) }
+
+// Checks lists every check ID in the suite, in report order.
+func Checks() []string {
+	return []string{"maprange", "wallclock", "globalrand", "floateq", "narrowcast", "errdrop"}
+}
+
+// resultAffecting names the packages (by final import-path element) whose
+// iteration order reaches results: the maprange check applies only here.
+// The telemetry and rendering layers may range freely — their maps feed
+// aggregates or sorted output, not routing decisions.
+var resultAffecting = map[string]bool{
+	"core": true, "route": true, "bufferdp": true, "vanginneken": true,
+	"mcf": true, "steiner": true, "spanning": true, "flow": true,
+	"siteplan": true,
+}
+
+// clockPackage is the final import-path element of the one package allowed
+// to read the wall clock: internal/obs owns the gated clock (obs.Now /
+// obs.Since) that every instrumented site must go through.
+const clockPackage = "obs"
+
+// Run lints the loaded module and returns all findings sorted by position.
+// only restricts reporting to packages whose import path is in the set
+// (nil/empty = all); the whole module is always loaded, since type
+// information needs every dependency anyway.
+func Run(mod *Module, only map[string]bool) []Finding {
+	var fs []Finding
+	for _, pkg := range mod.Pkgs {
+		if len(only) > 0 && !only[pkg.ImportPath] {
+			continue
+		}
+		fs = append(fs, lintPackage(mod, pkg)...)
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Col != fs[j].Col {
+			return fs[i].Col < fs[j].Col
+		}
+		return fs[i].Check < fs[j].Check
+	})
+	return fs
+}
+
+// lintPackage runs every check over one package and filters the findings
+// through its //rabid:allow annotations.
+func lintPackage(mod *Module, pkg *Package) []Finding {
+	allows, fs := collectAllows(mod, pkg)
+	p := &pass{mod: mod, pkg: pkg}
+	p.report = func(check string, pos token.Pos, msg string) {
+		position := mod.Fset.Position(pos)
+		file := mod.relFile(position.Filename)
+		if allows.suppressed(check, file, position.Line) {
+			return
+		}
+		p.findings = append(p.findings, Finding{
+			Check: check, File: file, Line: position.Line, Col: position.Column, Message: msg,
+		})
+	}
+	checkMapRange(p)
+	checkWallClock(p)
+	checkGlobalRand(p)
+	checkFloatEq(p)
+	checkNarrowCast(p)
+	checkErrDrop(p)
+	return append(fs, p.findings...)
+}
+
+// pass carries one package's state through the checks.
+type pass struct {
+	mod      *Module
+	pkg      *Package
+	report   func(check string, pos token.Pos, msg string)
+	findings []Finding
+}
+
+// pathElem returns the final element of the package's import path.
+func (p *pass) pathElem() string {
+	ip := p.pkg.ImportPath
+	if i := strings.LastIndexByte(ip, '/'); i >= 0 {
+		return ip[i+1:]
+	}
+	return ip
+}
+
+// allowSet indexes //rabid:allow annotations by (check, file, line). An
+// annotation covers its own line and the line below it, so it can sit as a
+// trailing comment or on its own line above the site.
+type allowSet map[string]bool
+
+func (a allowSet) key(check, file string, line int) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", check, file, line)
+}
+
+func (a allowSet) suppressed(check, file string, line int) bool {
+	return a[a.key(check, file, line)] || a[a.key(check, file, line-1)]
+}
+
+const allowPrefix = "//rabid:allow"
+
+// collectAllows parses the package's annotations. Malformed annotations —
+// no check named, a check outside the catalog, or a missing reason — are
+// returned as findings with check ID "allow" and suppress nothing.
+func collectAllows(mod *Module, pkg *Package) (allowSet, []Finding) {
+	known := map[string]bool{}
+	for _, c := range Checks() {
+		known[c] = true
+	}
+	allows := allowSet{}
+	var fs []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				position := mod.Fset.Position(c.Pos())
+				file := mod.relFile(position.Filename)
+				bad := func(msg string) {
+					fs = append(fs, Finding{
+						Check: "allow", File: file, Line: position.Line,
+						Col: position.Column, Message: msg,
+					})
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //rabid:allowfoo — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad("annotation names no check: want //rabid:allow <check> <reason>")
+					continue
+				}
+				if !known[fields[0]] {
+					bad(fmt.Sprintf("annotation names unknown check %q (catalog: %s)",
+						fields[0], strings.Join(Checks(), ", ")))
+					continue
+				}
+				if len(fields) < 2 {
+					bad(fmt.Sprintf("annotation for %q has no reason: suppression requires a justification", fields[0]))
+					continue
+				}
+				allows[allows.key(fields[0], file, position.Line)] = true
+			}
+		}
+	}
+	return allows, fs
+}

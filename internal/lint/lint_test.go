@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// corpusMod loads testdata/corpus once for all tests.
+var corpusMod = sync.OnceValues(func() (*Module, error) {
+	return Load("testdata/corpus", nil)
+})
+
+// wantRe extracts expectation markers: a "// want:<check>" comment on the
+// line a finding must land on.
+var wantRe = regexp.MustCompile(`want:([a-z]+)`)
+
+type key struct {
+	file  string
+	line  int
+	check string
+}
+
+// corpusWants scans the corpus sources for expectation markers.
+func corpusWants(t *testing.T) map[key]bool {
+	t.Helper()
+	wants := map[key]bool{}
+	err := filepath.WalkDir("testdata/corpus", func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel("testdata/corpus", path)
+		for i, line := range strings.Split(string(b), "\n") {
+			if !strings.Contains(line, "// want:") {
+				continue
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				wants[key{filepath.ToSlash(rel), i + 1, m[1]}] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestCorpusFindings drives every check over its positive and negative
+// corpus files: each marked line must be found, and nothing else may be.
+func TestCorpusFindings(t *testing.T) {
+	mod, err := corpusMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := corpusWants(t)
+	got := map[key]bool{}
+	for _, f := range Run(mod, nil) {
+		if f.Check == "allow" {
+			continue // asserted by TestAllowRequiresReason
+		}
+		got[key{f.File, f.Line, f.Check}] = true
+	}
+	for w := range wants {
+		if !got[w] {
+			t.Errorf("missing finding: %s:%d [%s]", w.file, w.line, w.check)
+		}
+	}
+	for g := range got {
+		if !wants[g] {
+			t.Errorf("unexpected finding: %s:%d [%s]", g.file, g.line, g.check)
+		}
+	}
+}
+
+// TestAllowRequiresReason locks the annotation grammar: a //rabid:allow
+// with no reason is itself reported and suppresses nothing.
+func TestAllowRequiresReason(t *testing.T) {
+	mod, err := corpusMod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the bare annotation's line in the corpus source.
+	src, err := os.ReadFile("testdata/corpus/route/maprange_pos.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareLine := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.TrimSpace(line) == "//rabid:allow maprange" {
+			bareLine = i + 1
+		}
+	}
+	if bareLine == 0 {
+		t.Fatal("corpus lost its bare //rabid:allow maprange line")
+	}
+	var gotAllow, gotUnsuppressed bool
+	for _, f := range Run(mod, nil) {
+		if f.File != "route/maprange_pos.go" {
+			continue
+		}
+		if f.Check == "allow" && f.Line == bareLine {
+			gotAllow = true
+			if !strings.Contains(f.Message, "reason") {
+				t.Errorf("allow finding does not explain the missing reason: %q", f.Message)
+			}
+		}
+		if f.Check == "maprange" && f.Line == bareLine+1 {
+			gotUnsuppressed = true
+		}
+	}
+	if !gotAllow {
+		t.Errorf("bare annotation at route/maprange_pos.go:%d not reported", bareLine)
+	}
+	if !gotUnsuppressed {
+		t.Errorf("bare annotation at route/maprange_pos.go:%d suppressed the finding below it", bareLine)
+	}
+}
+
+// repoRoot locates the real module root (two levels up from this package).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestSelfClean is the self-application gate: rabidlint must load the real
+// module — including internal/lint and internal/obs themselves — and come
+// back with zero findings. This is the same invariant CI enforces with
+// `go run ./cmd/rabidlint ./...`.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	mod, err := Load(repoRoot(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLint, sawObs bool
+	for _, pkg := range mod.Pkgs {
+		switch pkg.ImportPath {
+		case mod.Path + "/internal/lint":
+			sawLint = true
+		case mod.Path + "/internal/obs":
+			sawObs = true
+		}
+	}
+	if !sawLint || !sawObs {
+		t.Fatalf("self-application must load internal/lint (%v) and internal/obs (%v)", sawLint, sawObs)
+	}
+	for _, f := range Run(mod, nil) {
+		t.Errorf("tree not clean: %s", f)
+	}
+}
+
+// TestSeededViolations seeds one instance of each violation class into
+// internal/route via the overlay (no files touched) and asserts each is
+// reported with its check ID at the exact file:line — the acceptance
+// criterion that a regression in any invariant fails CI.
+func TestSeededViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	seeded := `package route
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seededMapRange(m map[int]bool) int { // line 8
+	n := 0
+	for k := range m { // line 10: maprange
+		n += k
+	}
+	return n
+}
+
+func seededClock() time.Time {
+	return time.Now() // line 17: wallclock
+}
+
+func seededRand(n int) int {
+	return rand.Intn(n) // line 21: globalrand
+}
+
+func seededFloatEq(a, b float64) bool {
+	return a == b // line 25: floateq
+}
+
+func seededNarrow(x int) int32 {
+	return int32(x) // line 29: narrowcast
+}
+
+func seededErrDrop(g interface{ Validate() error }) {
+	g.Validate() // line 33: errdrop
+}
+`
+	mod, err := Load(repoRoot(t), map[string][]byte{
+		"internal/route/zz_seeded.go": []byte(seeded),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(mod, map[string]bool{mod.Path + "/internal/route": true})
+	want := map[key]bool{
+		{"internal/route/zz_seeded.go", 10, "maprange"}:   false,
+		{"internal/route/zz_seeded.go", 17, "wallclock"}:  false,
+		{"internal/route/zz_seeded.go", 21, "globalrand"}: false,
+		{"internal/route/zz_seeded.go", 25, "floateq"}:    false,
+		{"internal/route/zz_seeded.go", 29, "narrowcast"}: false,
+		{"internal/route/zz_seeded.go", 33, "errdrop"}:    false,
+	}
+	for _, f := range findings {
+		k := key{f.File, f.Line, f.Check}
+		if _, ok := want[k]; ok {
+			want[k] = true
+		} else if f.File == "internal/route/zz_seeded.go" {
+			t.Errorf("unexpected finding in seeded file: %s", f)
+		}
+	}
+	for k, hit := range want {
+		if !hit {
+			t.Errorf("seeded violation not detected: %s:%d [%s]", k.file, k.line, k.check)
+		}
+	}
+}
+
+// TestFindingFormat locks the file:line:col rendering the CI log and the
+// JSON artifact rely on.
+func TestFindingFormat(t *testing.T) {
+	f := Finding{Check: "maprange", File: "internal/route/route.go", Line: 12, Col: 3, Message: "m"}
+	if got, want := f.Pos(), "internal/route/route.go:12:3"; got != want {
+		t.Errorf("Pos() = %q, want %q", got, want)
+	}
+	if got := f.String(); got != fmt.Sprintf("%s: [maprange] m", f.Pos()) {
+		t.Errorf("String() = %q", got)
+	}
+}

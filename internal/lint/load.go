@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked Go module.
+type Module struct {
+	// Root is the absolute module root directory (where go.mod lives).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Pkgs holds the module's packages in dependency order.
+	Pkgs []*Package
+}
+
+// Package is one type-checked package of the module.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// relFile returns filename relative to the module root (for stable,
+// machine-comparable findings).
+func (m *Module) relFile(filename string) string {
+	if rel, err := filepath.Rel(m.Root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Load parses and type-checks every non-test package under root. overlay
+// maps module-root-relative file paths to replacement/extra contents; it
+// exists so tests can seed a violation into a real package without
+// touching the tree. Test files (_test.go) are outside the analyzer's
+// scope: the invariants guarded here are about what ships in results, and
+// tests legitimately poke at clocks and exact floats.
+func Load(root string, overlay map[string][]byte) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	// Overlay files may introduce a package in a directory with no
+	// on-disk Go files.
+	for rel := range overlay {
+		dirs[filepath.Dir(filepath.Join(root, rel))] = true
+	}
+
+	type parsed struct {
+		pkg     *Package
+		imports map[string]bool
+	}
+	byPath := map[string]*parsed{}
+	for dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := &parsed{pkg: &Package{ImportPath: ip, Dir: dir}, imports: map[string]bool{}}
+
+		names, err := goFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			full := filepath.Join(dir, name)
+			var src any
+			if b, ok := overlay[filepath.ToSlash(filepath.Join(rel, name))]; ok {
+				src = b
+			}
+			f, err := parser.ParseFile(mod.Fset, full, src, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			p.pkg.Files = append(p.pkg.Files, f)
+			for _, imp := range f.Imports {
+				p.imports[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+		// Overlay files that don't exist on disk.
+		for orel, b := range overlay {
+			full := filepath.Join(root, orel)
+			if filepath.Dir(full) != dir {
+				continue
+			}
+			if _, err := os.Stat(full); err == nil {
+				continue // already parsed above with overlay contents
+			}
+			f, err := parser.ParseFile(mod.Fset, full, b, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			p.pkg.Files = append(p.pkg.Files, f)
+			for _, imp := range f.Imports {
+				p.imports[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+		if len(p.pkg.Files) > 0 {
+			byPath[ip] = p
+		}
+	}
+
+	// Topological order over intra-module imports, alphabetical within a
+	// rank so loading is deterministic.
+	order, err := topoSort(byPath, func(ip string) []string {
+		var deps []string
+		for imp := range byPath[ip].imports {
+			if _, ok := byPath[imp]; ok {
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		return deps
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stdlib dependencies type-check from GOROOT source; module-local
+	// imports resolve against the packages checked earlier in the order.
+	local := map[string]*types.Package{}
+	imp := &moduleImporter{
+		local:    local,
+		fallback: importer.ForCompiler(mod.Fset, "source", nil),
+	}
+	for _, ip := range order {
+		p := byPath[ip]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(ip, mod.Fset, p.pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", ip, err)
+		}
+		p.pkg.Types, p.pkg.Info = tpkg, info
+		local[ip] = tpkg
+		mod.Pkgs = append(mod.Pkgs, p.pkg)
+	}
+	return mod, nil
+}
+
+// moduleImporter serves module-local packages from the already-checked set
+// and everything else (the standard library) from GOROOT source.
+type moduleImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (rabidlint must run at a module root)", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// packageDirs walks the module and returns every directory containing
+// non-test Go files, skipping testdata, vendor, and hidden directories
+// (and nested modules, which have their own go.mod).
+func packageDirs(root string) (map[string]bool, error) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if path != root {
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// goFiles lists the non-test Go files of one directory, sorted.
+func goFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// topoSort orders the packages so every import precedes its importer.
+func topoSort[T any](nodes map[string]T, deps func(string) []string) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(n string) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", n)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		for _, d := range deps(n) {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[n] = 2
+		order = append(order, n)
+		return nil
+	}
+	var keys []string
+	for k := range nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := visit(k); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

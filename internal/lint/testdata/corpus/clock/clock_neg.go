@@ -1,0 +1,13 @@
+package clock
+
+import "time"
+
+// GoodAnnotated documents a legitimate raw read (e.g. stamping a report
+// that never feeds back into results).
+func GoodAnnotated() time.Time {
+	//rabid:allow wallclock report timestamp only; never feeds results
+	return time.Now()
+}
+
+// GoodOtherTimeUse uses the time package without touching the clock.
+func GoodOtherTimeUse(d time.Duration) string { return d.String() }

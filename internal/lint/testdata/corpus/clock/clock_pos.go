@@ -1,0 +1,14 @@
+// Package clock is outside the obs exemption, so raw clock reads are
+// violations.
+package clock
+
+import "time"
+
+// BadTiming reads the wall clock directly.
+func BadTiming() time.Duration {
+	t0 := time.Now() // want:wallclock
+	work()
+	return time.Since(t0) // want:wallclock
+}
+
+func work() {}

@@ -1,0 +1,35 @@
+package errs
+
+import "fmt"
+
+// GoodHandled propagates the error.
+func GoodHandled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// GoodExplicitDiscard makes the drop visible in the source.
+func GoodExplicitDiscard() {
+	_ = fail()
+}
+
+// GoodStdlibDrop drops a standard-library error, which is outside this
+// check's scope (fmt.Println's error is conventionally ignored).
+func GoodStdlibDrop() {
+	fmt.Println("hello")
+}
+
+// GoodNoError calls a function with no error result.
+func GoodNoError() {
+	noErr()
+}
+
+func noErr() {}
+
+// GoodAnnotated documents an intentional drop.
+func GoodAnnotated() {
+	//rabid:allow errdrop best-effort cleanup: failure here must not mask the primary error
+	fail()
+}

@@ -1,0 +1,18 @@
+// Package errs exercises the errdrop check.
+package errs
+
+import "fmt"
+
+func fail() error { return fmt.Errorf("errs: boom") }
+
+func compute() (int, error) { return 0, nil }
+
+// BadDrop discards the module's own error result on the statement line.
+func BadDrop() {
+	fail() // want:errdrop
+}
+
+// BadDropMulti discards an (int, error) pair the same way.
+func BadDropMulti() {
+	compute() // want:errdrop
+}

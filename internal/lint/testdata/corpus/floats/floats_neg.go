@@ -1,0 +1,30 @@
+package floats
+
+import "math"
+
+// GoodZeroSentinel tests the conventional unset sentinel: exact in
+// IEEE-754.
+func GoodZeroSentinel(x float64) bool {
+	return x != 0
+}
+
+// GoodInfSentinel compares against the pipeline's +Inf sentinel: exact.
+func GoodInfSentinel(x float64) bool {
+	return x == math.Inf(1)
+}
+
+// GoodEpsilon is the recommended helper shape.
+func GoodEpsilon(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// GoodIntCompare is not a float comparison at all.
+func GoodIntCompare(a, b int) bool {
+	return a == b
+}
+
+// GoodAnnotated documents a site where exact equality is the point.
+func GoodAnnotated(a, b float64) bool {
+	//rabid:allow floateq bit-identity check: the two values come from the same computation
+	return a == b
+}

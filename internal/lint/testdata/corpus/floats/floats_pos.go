@@ -1,0 +1,17 @@
+// Package floats exercises the floateq check.
+package floats
+
+// BadEqual compares accumulated floats exactly.
+func BadEqual(a, b float64) bool {
+	return a == b // want:floateq
+}
+
+// BadNotEqual is the != spelling.
+func BadNotEqual(a, b float32) bool {
+	return a != b // want:floateq
+}
+
+// BadAgainstConstant compares against a non-representable constant.
+func BadAgainstConstant(x float64) bool {
+	return x == 0.1 // want:floateq
+}

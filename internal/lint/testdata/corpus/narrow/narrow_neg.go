@@ -1,0 +1,30 @@
+package narrow
+
+import (
+	"fmt"
+	"math"
+)
+
+// GoodGuarded bounds the value before converting — the PR 1 remedy.
+func GoodGuarded(x int) (int32, error) {
+	if x > math.MaxInt32 {
+		return 0, fmt.Errorf("narrow: %d exceeds int32", x)
+	}
+	return int32(x), nil
+}
+
+// GoodConstant converts a constant, which the compiler range-checks.
+func GoodConstant() int32 {
+	return int32(1 << 20)
+}
+
+// GoodWidening widens, which cannot lose bits.
+func GoodWidening(x int32) int64 {
+	return int64(x)
+}
+
+// GoodAnnotated documents a safe truncation the analyzer cannot prove.
+func GoodAnnotated(x int) int16 {
+	//rabid:allow narrowcast caller contract: x is a tile coordinate < 1024
+	return int16(x)
+}

@@ -1,0 +1,13 @@
+// Package narrow exercises the narrowcast check.
+package narrow
+
+// BadNarrow truncates an int (64-bit) into an int32 with no visible
+// bound anywhere in the function.
+func BadNarrow(labels []int32, x int) []int32 {
+	return append(labels, int32(x)) // want:narrowcast
+}
+
+// BadNarrow16 is the same class one size down.
+func BadNarrow16(x int32) int16 {
+	return int16(x) // want:narrowcast
+}

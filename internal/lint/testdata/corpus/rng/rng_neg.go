@@ -1,0 +1,14 @@
+package rng
+
+import "math/rand"
+
+// GoodSeeded threads an explicit seeded source: reproducible.
+func GoodSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// GoodThreaded takes the generator from the caller.
+func GoodThreaded(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

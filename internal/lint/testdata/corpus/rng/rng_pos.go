@@ -1,0 +1,15 @@
+// Package rng exercises the globalrand check.
+package rng
+
+import "math/rand"
+
+// BadGlobal draws from the shared global source: order-dependent across
+// the whole process, so runs are not reproducible.
+func BadGlobal(n int) int {
+	return rand.Intn(n) // want:globalrand
+}
+
+// BadShuffle mutates through the global source too.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want:globalrand
+}

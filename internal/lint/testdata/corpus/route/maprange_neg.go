@@ -1,0 +1,37 @@
+package route
+
+import "sort"
+
+// GoodSortedKeys collects then sorts before any result-affecting use —
+// the one idiom the check recognizes without an annotation.
+func GoodSortedKeys(m map[int]float64) float64 {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// GoodAnnotated documents why this particular iteration is safe.
+func GoodAnnotated(m map[int]int) int {
+	n := 0
+	//rabid:allow maprange commutative sum: iteration order cannot reach the result
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GoodSliceRange ranges over a slice, which is ordered.
+func GoodSliceRange(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+// Package route has a result-affecting name, so maprange applies.
+package route
+
+// BadIterate folds map values in iteration order: nondeterministic.
+func BadIterate(m map[int]float64) float64 {
+	total := 0.0
+	prev := 0.0
+	for _, v := range m { // want:maprange
+		total += v * prev
+		prev = v
+	}
+	return total
+}
+
+// BadAllowNoReason carries an annotation with no reason: the annotation is
+// reported and the range stays reported too.
+func BadAllowNoReason(m map[int]bool) int {
+	n := 0
+	//rabid:allow maprange
+	for k := range m { // want:maprange
+		n += k
+	}
+	return n
+}
+
+// want-allow: the bare annotation above is itself a finding (see
+// TestCorpus, which expects check "allow" at the annotation line).

@@ -16,8 +16,8 @@ package mcf
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
+	"repro/internal/geom"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/route"
@@ -110,12 +110,9 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 	for phase := 0; phase < opt.Phases; phase++ {
 		popt := opt.RouteOpt
 		popt.Pass = phase + 1
-		var t0 time.Time
-		if opt.Obs != nil {
-			t0 = time.Now()
-			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "mcf.phase",
-				Stage: popt.Stage, Pass: popt.Pass, Net: -1})
-		}
+		t0 := obs.Now(opt.Obs)
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "mcf.phase",
+			Stage: popt.Stage, Pass: popt.Pass, Net: -1})
 		for i, n := range nets {
 			rt, err := route.Reroute(g, n, popt)
 			if err != nil {
@@ -132,7 +129,7 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 		}
 		if opt.Obs != nil {
 			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "mcf.phase",
-				Stage: popt.Stage, Pass: popt.Pass, Net: -1, Dur: time.Since(t0)})
+				Stage: popt.Stage, Pass: popt.Pass, Net: -1, Dur: obs.Since(opt.Obs, t0)})
 		}
 	}
 
@@ -208,15 +205,19 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// pack16 folds one tile coordinate pair into 32 bits of a tree key.
+func pack16(p geom.Pt) uint64 {
+	//rabid:allow narrowcast hash key only: truncating a >65535 coordinate can at worst alias a pool entry, never corrupt a route
+	return uint64(uint16(p.X))<<16 | uint64(uint16(p.Y))
+}
+
 // treeKey builds a canonical identity for a routed tree (sorted edge set).
 func treeKey(rt *rtree.Tree) string {
 	pairs := rt.EdgePairs()
 	keys := make([]uint64, len(pairs))
 	for i, pq := range pairs {
-		a := uint64(uint16(pq[0].X))<<48 | uint64(uint16(pq[0].Y))<<32 |
-			uint64(uint16(pq[1].X))<<16 | uint64(uint16(pq[1].Y))
-		b := uint64(uint16(pq[1].X))<<48 | uint64(uint16(pq[1].Y))<<32 |
-			uint64(uint16(pq[0].X))<<16 | uint64(uint16(pq[0].Y))
+		a := pack16(pq[0])<<32 | pack16(pq[1])
+		b := pack16(pq[1])<<32 | pack16(pq[0])
 		if b < a {
 			a = b
 		}

@@ -117,6 +117,28 @@ func Emit(o Observer, e Event) {
 	}
 }
 
+// Now is the gated wall clock: it reads time.Now only when an observer is
+// attached and returns the zero Time otherwise. All timing reads in the
+// pipeline go through this gate (or the IndexBuffers equivalent), which is
+// what rabidlint's wallclock check enforces — instrumented code never
+// touches the wall clock unless someone is listening, so untapped runs
+// stay bit-for-bit reproducible and pay no clock cost.
+func Now(o Observer) time.Time {
+	if o == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since is the gated companion of Now: the elapsed wall time since t when
+// an observer is attached, 0 otherwise.
+func Since(o Observer, t time.Time) time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Since(t)
+}
+
 // multi fans one stream out to several sinks, in order.
 type multi []Observer
 
@@ -167,6 +189,24 @@ func NewIndexBuffers(o Observer, n int) *IndexBuffers {
 // Active reports whether events are being collected; workers use it to
 // skip clock reads on the nil fast path.
 func (b *IndexBuffers) Active() bool { return b != nil }
+
+// Now is the per-item clock gate: time.Now when events are being
+// collected, the zero Time on the nil fast path.
+func (b *IndexBuffers) Now() time.Time {
+	if b == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since returns the elapsed wall time since t when events are being
+// collected, 0 on the nil fast path.
+func (b *IndexBuffers) Since(t time.Time) time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Since(t)
+}
 
 // Emit appends e to item i's buffer. Safe to call concurrently for
 // distinct i; no-op on a nil receiver.

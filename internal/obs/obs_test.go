@@ -182,6 +182,38 @@ func TestNilObserverZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestNilObserverClockZeroAlloc extends the nil-observer contract to the
+// gated clock: with no observer attached, Now/Since (and the IndexBuffers
+// equivalents) must neither allocate nor read the wall clock — they
+// return zero values, which is what keeps untapped runs clock-free.
+func TestNilObserverClockZeroAlloc(t *testing.T) {
+	var b *IndexBuffers
+	if n := testing.AllocsPerRun(100, func() {
+		if !Now(nil).IsZero() {
+			t.Fatal("Now(nil) read the clock")
+		}
+		if Since(nil, time.Time{}) != 0 {
+			t.Fatal("Since(nil, ...) read the clock")
+		}
+		if !b.Now().IsZero() {
+			t.Fatal("nil IndexBuffers Now read the clock")
+		}
+		if b.Since(time.Time{}) != 0 {
+			t.Fatal("nil IndexBuffers Since read the clock")
+		}
+	}); n != 0 {
+		t.Errorf("nil-observer clock ops allocate %v per run, want 0", n)
+	}
+	// With an observer attached the gate opens.
+	rec := observerFunc(func(Event) {})
+	if Now(rec).IsZero() {
+		t.Error("Now with an observer must read the clock")
+	}
+	if tapped := NewIndexBuffers(rec, 1); tapped.Now().IsZero() {
+		t.Error("tapped IndexBuffers Now must read the clock")
+	}
+}
+
 // TestIndexBuffersDeterministicOrder: events emitted concurrently out of
 // index order are flushed in index order.
 func TestIndexBuffersDeterministicOrder(t *testing.T) {

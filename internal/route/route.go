@@ -9,7 +9,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"time"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -245,18 +244,15 @@ func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, 
 		}
 		popt := opt
 		popt.Pass = passes + 1
-		var t0 time.Time
-		if opt.Obs != nil {
-			t0 = time.Now()
-			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1})
-		}
+		t0 := obs.Now(opt.Obs)
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1})
 		err := RipupPass(g, nets, routes, order, popt)
 		if opt.Obs != nil {
 			ws := g.WireCongestion()
 			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "ripup.overflow", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Value: float64(ws.Overflow)})
 			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "ripup.wire_max", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Value: ws.Max})
 			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindHeat, Scope: "heat.wire", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Vals: wireHeat(g)})
-			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Dur: time.Since(t0)})
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Dur: obs.Since(opt.Obs, t0)})
 		}
 		if err != nil {
 			return passes, err
@@ -359,6 +355,7 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.
 				ns := state(w, j+1)
 				if nd := dist[s] + wc; nd < dist[ns] {
 					dist[ns] = nd
+					//rabid:allow narrowcast s < nt*L, guarded against MaxInt32 at function entry
 					pred[ns] = int32(s)
 					heap.Push(&q, pqItem{ns, nd})
 					pushes++
@@ -368,6 +365,7 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.
 			ns := state(w, 0)
 			if nd := dist[s] + wc + siteCost(w); nd < dist[ns] {
 				dist[ns] = nd
+				//rabid:allow narrowcast s < nt*L, guarded against MaxInt32 at function entry
 				pred[ns] = int32(s)
 				heap.Push(&q, pqItem{ns, nd})
 				pushes++

@@ -3,7 +3,6 @@ package vanginneken
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/delay"
@@ -78,10 +77,9 @@ func RetimeCriticalNets(res *core.Result, k int, lib []tech.Gate) ([]RetimeRepor
 			},
 		}
 		var ist InsertStats
-		var t0 time.Time
+		t0 := obs.Now(o)
 		if o != nil {
 			cfg.Stats = &ist
-			t0 = time.Now()
 		}
 		sol, err := Insert(rt, cfg)
 		if err != nil {
@@ -91,7 +89,7 @@ func RetimeCriticalNets(res *core.Result, k int, lib []tech.Gate) ([]RetimeRepor
 			id := res.Circuit.Nets[i].ID
 			obs.Emit(o, obs.Event{Kind: obs.KindCounter, Scope: "retime.candidates", Net: id, Value: float64(ist.Candidates)})
 			obs.Emit(o, obs.Event{Kind: obs.KindCounter, Scope: "retime.pruned", Net: id, Value: float64(ist.Pruned)})
-			obs.Emit(o, obs.Event{Kind: obs.KindSpanEnd, Scope: "net.retime", Net: id, Dur: time.Since(t0)})
+			obs.Emit(o, obs.Event{Kind: obs.KindSpanEnd, Scope: "net.retime", Net: id, Dur: obs.Since(o, t0)})
 		}
 		for _, p := range sol.Buffers {
 			g.AddBuffer(g.TileIndex(rt.Tile[p.Buf.Node]))

@@ -220,6 +220,7 @@ func recoverEntry(rt *rtree.Tree, states []nodeState, lib []tech.Gate, v, ei int
 // achieved rat).
 func pruneJ(in []jopt) []jopt {
 	sort.Slice(in, func(a, b int) bool {
+		//rabid:allow floateq sort tie-break: exact equality falls through to the secondary key; an epsilon would break strict weak ordering
 		if in[a].cap != in[b].cap {
 			return in[a].cap < in[b].cap
 		}
@@ -239,6 +240,7 @@ func pruneJ(in []jopt) []jopt {
 // pruneO is pruneJ for entry options.
 func pruneO(in []opt) []opt {
 	sort.Slice(in, func(a, b int) bool {
+		//rabid:allow floateq sort tie-break: exact equality falls through to the secondary key; an epsilon would break strict weak ordering
 		if in[a].cap != in[b].cap {
 			return in[a].cap < in[b].cap
 		}

@@ -114,9 +114,10 @@ func Default018() Tech { return tech.Default018() }
 func Run(c *Circuit, p Params) (*Result, error) { return core.Run(c, p) }
 
 // RunBBP runs the BBP/FR baseline on a two-pin-decomposed circuit with the
-// given uniform edge capacity.
-func RunBBP(c *Circuit, capacity int, t Tech) (*BBPResult, error) {
-	return bbp.Run(c, capacity, t)
+// given uniform edge capacity. o taps the run's telemetry ("bbp.run" span);
+// pass nil for an untapped, clock-free run (BBPResult.CPU stays zero).
+func RunBBP(c *Circuit, capacity int, t Tech, o Observer) (*BBPResult, error) {
+	return bbp.Run(c, capacity, t, o)
 }
 
 // Suite returns the ten benchmark specs of the paper's Table I.

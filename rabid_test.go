@@ -65,7 +65,7 @@ func TestRunBBPThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunBBP(c.DecomposeTwoPin(), 20, Default018())
+	res, err := RunBBP(c.DecomposeTwoPin(), 20, Default018(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
