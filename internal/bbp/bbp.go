@@ -51,11 +51,10 @@ type Result struct {
 // nets must already be decomposed (netlist.Circuit.DecomposeTwoPin), as in
 // the paper's comparison. capacity is the uniform edge capacity W(e) — pass
 // the capacity of the matching RABID run so both tools face the same wire
-// budget. o taps the run with a "bbp.run" span; with a nil observer no
-// clock is read and Result.CPU stays zero.
+// budget. o taps the run with a "bbp.run" span; Result.CPU is real wall
+// time even with a nil observer, since Table V's cpu column prints
+// untapped.
 func Run(c *netlist.Circuit, capacity int, t tech.Tech, o obs.Observer) (*Result, error) {
-	t0 := obs.Now(o)
-	obs.Emit(o, obs.Event{Kind: obs.KindSpanBegin, Scope: "bbp.run", Net: -1})
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -67,6 +66,13 @@ func Run(c *netlist.Circuit, capacity int, t tech.Tech, o obs.Observer) (*Result
 	if capacity < 1 {
 		return nil, fmt.Errorf("bbp: capacity %d < 1", capacity)
 	}
+	// The span begins only after validation and closes in a defer, so
+	// every error return below still yields a balanced begin/end stream.
+	t0 := time.Now() //rabid:allow wallclock Table V's cpu column is reporting-only and printed untapped
+	obs.Emit(o, obs.Event{Kind: obs.KindSpanBegin, Scope: "bbp.run", Net: -1})
+	defer func() {
+		obs.Emit(o, obs.Event{Kind: obs.KindSpanEnd, Scope: "bbp.run", Net: -1, Dur: time.Since(t0)}) //rabid:allow wallclock Table V's cpu column is reporting-only and printed untapped
+	}()
 	eval, err := delay.NewEvaluator(t, c.TileUm)
 	if err != nil {
 		return nil, err
@@ -101,8 +107,7 @@ func Run(c *netlist.Circuit, capacity int, t tech.Tech, o obs.Observer) (*Result
 	res.WirelenMm = float64(wireTiles) * c.TileUm / 1000
 	res.MaxDelayPs, res.AvgDelayPs = dst.MaxPs(), dst.AvgPs()
 	res.MTAP = MTAPFromCounts(bufPerTile, c.TileUm)
-	res.CPU = obs.Since(o, t0)
-	obs.Emit(o, obs.Event{Kind: obs.KindSpanEnd, Scope: "bbp.run", Net: -1, Dur: res.CPU})
+	res.CPU = time.Since(t0) //rabid:allow wallclock Table V's cpu column is reporting-only and printed untapped
 	return res, nil
 }
 

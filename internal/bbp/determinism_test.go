@@ -63,16 +63,18 @@ func TestSeededDeterminism(t *testing.T) {
 	}
 }
 
-// TestUntappedRunIsClockFree asserts the wallclock invariant at the API
-// boundary: with no observer, Run must not read the clock at all, so the
-// reported CPU is exactly zero (the gated obs.Now/obs.Since fast path).
-func TestUntappedRunIsClockFree(t *testing.T) {
+// TestUntappedRunReportsCPU asserts the reporting contract at the API
+// boundary: Table V's cpu column prints from the default, untapped path,
+// so Run must report real wall time even with a nil observer. (The
+// per-net/per-pass telemetry spans stay clock-free when untapped; only
+// this one coarse, annotated timer always runs.)
+func TestUntappedRunReportsCPU(t *testing.T) {
 	c := generateTwoPin(t, floorplan.Options{})
 	res, err := Run(c, 8, tech.Default018(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CPU != 0 {
-		t.Errorf("untapped Run read the wall clock: CPU = %v, want 0", res.CPU)
+	if res.CPU <= 0 {
+		t.Errorf("untapped Run reported CPU = %v, want > 0 (Table V's cpu column prints untapped)", res.CPU)
 	}
 }

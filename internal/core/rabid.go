@@ -68,8 +68,10 @@ type Params struct {
 	Workers int
 	// Observer receives the run's structured telemetry: trace spans,
 	// counters, gauges, and congestion-heat snapshots (see internal/obs).
-	// nil disables observation at zero cost — no events are built and no
-	// clocks are read. The event stream is deterministic for every Workers
+	// nil disables observation at zero cost — no events are built and the
+	// per-net/per-pass spans read no clocks (only the coarse run and stage
+	// CPU timers behind StageStats.CPU always run; the tables' cpu(s)
+	// column prints untapped). The event stream is deterministic for every Workers
 	// value (parallel sections buffer per net and flush in index order);
 	// only span durations vary run to run.
 	Observer obs.Observer
@@ -170,19 +172,23 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 	}
 	res := &Result{Circuit: c, Params: p}
 
-	tRun := obs.Now(st.obs)
+	// The run and stage timers read the wall clock unconditionally: the
+	// cpu(s) column of the paper's tables is part of the default, untapped
+	// CLI output, and these O(1)-per-run readings never feed results. Only
+	// the per-net and per-pass spans stay behind the observer gate.
+	tRun := time.Now() //rabid:allow wallclock run CPU is reporting-only and part of the default table output
 	if st.obs != nil {
 		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "run", Net: -1})
 	}
 	run := func(stage int, f func() error) error {
 		st.stage = stage
 		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "stage", Stage: stage, Net: -1})
-		t0 := obs.Now(st.obs)
+		t0 := time.Now() //rabid:allow wallclock stage CPU is the tables' cpu(s) column, printed untapped
 		if err := f(); err != nil {
 			return fmt.Errorf("core: stage %d: %w", stage, err)
 		}
 		s := st.snapshot(stage)
-		s.CPU = obs.Since(st.obs, t0)
+		s.CPU = time.Since(t0) //rabid:allow wallclock stage CPU is the tables' cpu(s) column, printed untapped
 		res.Stages = append(res.Stages, s)
 		st.emitStage(s)
 		return nil
@@ -202,7 +208,7 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 		}
 	}
 	if st.obs != nil {
-		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "run", Net: -1, Dur: obs.Since(st.obs, tRun)})
+		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "run", Net: -1, Dur: time.Since(tRun)}) //rabid:allow wallclock run CPU is reporting-only and part of the default table output
 	}
 	res.Capacity = st.g.Capacity(0)
 	res.Graph = st.g

@@ -6,7 +6,6 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
-	"runtime"
 	"strings"
 )
 
@@ -288,10 +287,10 @@ func (p *pass) isExactSentinel(e ast.Expr) bool {
 // identical) against a bound anywhere, which covers both if-guards before
 // the cast and loop conditions bounding it.
 func checkNarrowCast(p *pass) {
-	sizes := types.SizesFor("gc", runtime.GOARCH)
-	if sizes == nil {
-		sizes = &types.StdSizes{WordSize: 8, MaxAlign: 8}
-	}
+	// Sizes are pinned to 64-bit, not the host GOARCH: whether int→int32
+	// narrows must not depend on the machine running the linter (load.go
+	// pins the file set to linux/amd64 for the same reason).
+	var sizes types.Sizes = &types.StdSizes{WordSize: 8, MaxAlign: 8}
 	for _, f := range p.pkg.Files {
 		var funcs []ast.Node // innermost enclosing FuncDecl/FuncLit stack
 		var walk func(n ast.Node)

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -12,6 +13,19 @@ import (
 	"sort"
 	"strings"
 )
+
+// buildCtx pins file selection to linux/amd64 regardless of the host, so
+// the set of files analyzed — and therefore the findings — is identical on
+// every platform (checkNarrowCast pins 64-bit sizes for the same reason).
+// It also keeps //go:build-constrained and GOOS/GOARCH-suffixed files of
+// other platforms out of the type-checker, where they would collide as
+// duplicate declarations.
+var buildCtx = func() build.Context {
+	ctx := build.Default
+	ctx.GOOS, ctx.GOARCH = "linux", "amd64"
+	ctx.CgoEnabled = false
+	return ctx
+}()
 
 // Module is a fully parsed and type-checked Go module.
 type Module struct {
@@ -229,7 +243,9 @@ func packageDirs(root string) (map[string]bool, error) {
 	return dirs, err
 }
 
-// goFiles lists the non-test Go files of one directory, sorted.
+// goFiles lists the non-test Go files of one directory that match the
+// pinned linux/amd64 build configuration (file-name suffixes and
+// //go:build lines, via go/build), sorted.
 func goFiles(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -241,7 +257,14 @@ func goFiles(dir string) ([]string, error) {
 			continue
 		}
 		n := e.Name()
-		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+		if !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		match, err := buildCtx.MatchFile(dir, n)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", filepath.Join(dir, n), err)
+		}
+		if match {
 			names = append(names, n)
 		}
 	}

@@ -118,11 +118,12 @@ func Emit(o Observer, e Event) {
 }
 
 // Now is the gated wall clock: it reads time.Now only when an observer is
-// attached and returns the zero Time otherwise. All timing reads in the
-// pipeline go through this gate (or the IndexBuffers equivalent), which is
-// what rabidlint's wallclock check enforces — instrumented code never
-// touches the wall clock unless someone is listening, so untapped runs
-// stay bit-for-bit reproducible and pay no clock cost.
+// attached and returns the zero Time otherwise. Per-net and per-pass
+// timing in the pipeline goes through this gate (or the IndexBuffers
+// equivalent), which is what rabidlint's wallclock check enforces; the
+// only raw, annotated exceptions are the coarse run/stage/BBP CPU timers
+// whose readings the tables print even when untapped. Results never
+// depend on either kind of reading.
 func Now(o Observer) time.Time {
 	if o == nil {
 		return time.Time{}
