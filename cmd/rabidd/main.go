@@ -1,0 +1,97 @@
+// Command rabidd is the planning service daemon: it serves the RABID
+// pipeline and the BBP/FR baseline over HTTP with bounded admission, a
+// content-addressed result cache, per-request deadlines, and graceful
+// drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	rabidd -addr :8080
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/plan     {"circuit": {...}, "params": {...}, "timeout_ms": 60000}
+//	POST /v1/bbp      {"circuit": {...}, "capacity": 2}
+//	GET  /v1/healthz  liveness and admission pressure
+//	GET  /v1/metricz  obs.Metrics snapshot (cmd/metricscheck-compatible)
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, lets
+// in-flight requests finish (bounded by -drain), and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rabidd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent planning runs (0 = GOMAXPROCS)")
+		queueDepth  = flag.Int("queue-depth", 16, "admissions waiting beyond max-inflight before 429 (negative = none)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "default per-request deadline (bodies may set timeout_ms)")
+		cacheSize   = flag.Int("cache-entries", 128, "content-addressed result cache bound (LRU)")
+		maxBody     = flag.Int64("max-body", netlist.MaxJSONBytes, "request body size cap in bytes")
+		workers     = flag.Int("workers", 0, "per-run worker pool bound (0 = GOMAXPROCS; never changes results)")
+		drain       = flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		MaxInflight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		CacheEntries:   *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		Workers:        *workers,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "rabidd: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// ListenAndServe never returns nil; surface bind failures etc.
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "rabidd: shutdown signal received, draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "rabidd: drained, exiting")
+	return nil
+}

@@ -1,0 +1,262 @@
+// Package cache is the content-addressed result cache of the planning
+// service: a canonical deterministic hash of the full problem statement
+// (circuit, parameters, technology) keys the serialized response bytes, an
+// LRU bound caps memory, and an in-flight table collapses concurrent
+// identical requests onto a single computation (singleflight).
+//
+// Caching a planning result is only sound because RABID runs are
+// bit-deterministic for a given input (TestSeededDeterminism, and
+// Params.Workers never changes results) — the cached bytes ARE the bytes a
+// fresh run would produce, which the service tests prove byte-for-byte.
+//
+// Hit, miss, coalesced-request, and eviction counts are emitted through
+// the standard observer tap ("cache.hit", "cache.miss", "cache.coalesced",
+// "cache.evict" counters and the "cache.entries" gauge), so /v1/metricz
+// exposes cache effectiveness alongside the pipeline's own telemetry.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/tech"
+)
+
+// keyVersion is baked into every key so a change to the key material's
+// layout (or to result-affecting semantics) invalidates old entries rather
+// than aliasing them.
+const keyVersion = 1
+
+// planMaterial enumerates, exhaustively and in a fixed order, every field
+// of a plan request that can affect the result. Fields deliberately
+// absent: Params.Workers (results are bit-identical for every value),
+// Params.Observer and RouteOpt.Obs (telemetry only), and RouteOpt.Stage /
+// RouteOpt.Pass (transient labels the pipeline overwrites). The JSON
+// encoding of this struct is deterministic — fixed field order, no maps —
+// so identical requests always hash identically.
+type planMaterial struct {
+	Version           int              `json:"version"`
+	Kind              string           `json:"kind"`
+	Circuit           *netlist.Circuit `json:"circuit"`
+	Alpha             float64          `json:"alpha"`
+	RouteAlpha        float64          `json:"route_alpha"`
+	RouteLengthWeight float64          `json:"route_length_weight"`
+	RouteOverflowPen  float64          `json:"route_overflow_penalty"`
+	MaxRipupPasses    int              `json:"max_ripup_passes"`
+	Capacity          int              `json:"capacity"`
+	TargetStage1Avg   float64          `json:"target_stage1_avg"`
+	Tech              tech.Tech        `json:"tech"`
+	SkipStage4        bool             `json:"skip_stage4"`
+	DisableDemandTerm bool             `json:"disable_demand_term"`
+	UseMCFRouter      bool             `json:"use_mcf_router"`
+}
+
+// PlanKey derives the content address of a RABID run: a hex SHA-256 over
+// the canonical serialization of (circuit, params, tech). It fails when
+// the parameters carry a custom RouteOpt.Weight function — a result-
+// affecting input the cache cannot address by content.
+func PlanKey(c *netlist.Circuit, p core.Params) (string, error) {
+	if p.RouteOpt.Weight != nil {
+		return "", fmt.Errorf("cache: params with a custom RouteOpt.Weight are not content-addressable")
+	}
+	return hash(planMaterial{
+		Version:           keyVersion,
+		Kind:              "plan",
+		Circuit:           c,
+		Alpha:             p.Alpha,
+		RouteAlpha:        p.RouteOpt.Alpha,
+		RouteLengthWeight: p.RouteOpt.LengthWeight,
+		RouteOverflowPen:  p.RouteOpt.OverflowPenalty,
+		MaxRipupPasses:    p.MaxRipupPasses,
+		Capacity:          p.Capacity,
+		TargetStage1Avg:   p.TargetStage1Avg,
+		Tech:              p.Tech,
+		SkipStage4:        p.SkipStage4,
+		DisableDemandTerm: p.DisableDemandTerm,
+		UseMCFRouter:      p.UseMCFRouter,
+	})
+}
+
+// bbpMaterial is the key material of the BBP baseline endpoint.
+type bbpMaterial struct {
+	Version  int              `json:"version"`
+	Kind     string           `json:"kind"`
+	Circuit  *netlist.Circuit `json:"circuit"`
+	Capacity int              `json:"capacity"`
+	Tech     tech.Tech        `json:"tech"`
+}
+
+// BBPKey derives the content address of a BBP baseline run.
+func BBPKey(c *netlist.Circuit, capacity int, t tech.Tech) (string, error) {
+	return hash(bbpMaterial{Version: keyVersion, Kind: "bbp", Circuit: c, Capacity: capacity, Tech: t})
+}
+
+func hash(material any) (string, error) {
+	b, err := json.Marshal(material)
+	if err != nil {
+		return "", fmt.Errorf("cache: serializing key material: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// entry is one resident cache line.
+type entry struct {
+	key string
+	val []byte
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is the bounded content-addressed store. Values are treated as
+// immutable byte slices: Do and Get return the stored slice itself, so
+// callers must not modify it (the server writes it straight to the wire).
+// Safe for concurrent use.
+type Cache struct {
+	o obs.Observer
+
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	inFlt map[string]*flight
+}
+
+// New returns a cache retaining at most maxEntries results (LRU eviction).
+// maxEntries == 0 disables retention — requests still collapse through the
+// singleflight table, but nothing is stored. o (may be nil) receives the
+// cache.* counters.
+func New(maxEntries int, o obs.Observer) *Cache {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Cache{
+		o:     o,
+		max:   maxEntries,
+		ll:    list.New(),
+		items: map[string]*list.Element{},
+		inFlt: map[string]*flight{},
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Get returns the cached bytes for key, marking it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.lookup(key)
+	if ok {
+		c.count("cache.hit")
+	}
+	return v, ok
+}
+
+// lookup is Get without counters; callers hold mu.
+func (c *Cache) lookup(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Do returns the bytes for key, computing them at most once across all
+// concurrent callers: a resident entry is returned immediately (hit=true);
+// if an identical computation is already in flight the caller waits for it
+// and shares its bytes (hit=true — the response is another request's
+// result, byte-identical by determinism); otherwise compute runs on the
+// calling goroutine and its result is stored (hit=false). Errors are never
+// cached. A waiting caller whose ctx ends returns ctx.Err() without
+// disturbing the in-flight computation (which runs under the leader's own
+// context).
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	c.mu.Lock()
+	if v, ok := c.lookup(key); ok {
+		c.count("cache.hit")
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if fl, ok := c.inFlt[key]; ok {
+		c.count("cache.coalesced")
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.val, fl.err == nil, fl.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inFlt[key] = fl
+	c.count("cache.miss")
+	c.mu.Unlock()
+
+	fl.val, fl.err = runCompute(compute)
+
+	c.mu.Lock()
+	delete(c.inFlt, key)
+	if fl.err == nil {
+		c.store(key, fl.val)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, false, fl.err
+}
+
+// runCompute shields the flight table from a panicking computation: the
+// panic becomes the flight's error, so waiters unblock instead of hanging
+// on a leaked entry.
+func runCompute(compute func() ([]byte, error)) (val []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cache: compute panicked: %v", r)
+		}
+	}()
+	return compute()
+}
+
+// store inserts or refreshes key (callers hold mu), evicting from the LRU
+// tail once over the bound.
+func (c *Cache) store(key string, val []byte) {
+	if c.max == 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		c.count("cache.evict")
+	}
+	obs.Emit(c.o, obs.Event{Kind: obs.KindGauge, Scope: "cache.entries", Net: -1, Value: float64(c.ll.Len())})
+}
+
+func (c *Cache) count(scope string) {
+	obs.Emit(c.o, obs.Event{Kind: obs.KindCounter, Scope: scope, Net: -1, Value: 1})
+}

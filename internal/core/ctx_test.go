@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// reportSansCPU marshals a run's report with the wall-clock CPU columns
+// zeroed, so two runs can be compared byte-for-byte.
+func reportSansCPU(t *testing.T, res *Result) []byte {
+	t.Helper()
+	rep, err := res.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Stages {
+		rep.Stages[i].CPUSeconds = 0
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRunContextBackgroundMatchesRun: RunContext with an undone context is
+// the same computation as Run — byte-identical reports (CPU aside). This is
+// the guarantee the service cache's soundness rests on.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	c1 := smallCircuit(t, 7, 25, 10, 10, 3, 4)
+	c2 := smallCircuit(t, 7, 25, 10, 10, 3, 4)
+	r1, err := Run(c1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunContext(context.Background(), c2, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := reportSansCPU(t, r1), reportSansCPU(t, r2)
+	if string(b1) != string(b2) {
+		t.Errorf("RunContext(Background) diverged from Run:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context aborts before
+// any stage runs, and the error wraps context.Canceled.
+func TestRunContextPreCancelled(t *testing.T) {
+	c := smallCircuit(t, 3, 10, 8, 8, 3, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, c, DefaultParams())
+	if res != nil {
+		t.Error("cancelled run returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestRunContextDeadline: a deadline far shorter than the run aborts the
+// pipeline promptly at a checkpoint with context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	c := smallCircuit(t, 5, 80, 16, 16, 3, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := RunContext(ctx, c, DefaultParams())
+	elapsed := time.Since(start)
+	if res != nil {
+		t.Error("expired run returned a result")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	// "Promptly" allows for the work between two checkpoints (a rip-up
+	// pass or one net's DP) but nothing near a full run.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, checkpoints are not being honored", elapsed)
+	}
+}
+
+// TestRunContextCancelMidRun: cancelling while the pipeline is in flight
+// aborts it; run repeatedly at different cancellation offsets so several
+// checkpoint classes get exercised.
+func TestRunContextCancelMidRun(t *testing.T) {
+	for _, after := range []time.Duration{100 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		c := smallCircuit(t, 11, 60, 14, 14, 3, 5)
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(after, cancel)
+		res, err := RunContext(ctx, c, DefaultParams())
+		timer.Stop()
+		cancel()
+		if err == nil {
+			// The run legitimately beat the cancellation.
+			if res == nil {
+				t.Fatalf("after=%v: no error and no result", after)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("after=%v: error %v does not wrap context.Canceled", after, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -20,6 +21,7 @@ func newTestState(t *testing.T, c *netlist.Circuit, p Params) *state {
 		t.Fatal(err)
 	}
 	s := &state{
+		ctx:      context.Background(),
 		c:        c,
 		p:        p,
 		eval:     eval,

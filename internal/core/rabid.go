@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -132,6 +133,7 @@ func (r *Result) TotalBuffers() int {
 
 // state carries the pipeline between stages.
 type state struct {
+	ctx    context.Context
 	c      *netlist.Circuit
 	p      Params
 	g      *tile.Graph
@@ -149,6 +151,21 @@ type state struct {
 
 // Run executes the full RABID pipeline on the circuit.
 func Run(c *netlist.Circuit, p Params) (*Result, error) {
+	return RunContext(context.Background(), c, p)
+}
+
+// RunContext is Run with cooperative cancellation. The pipeline checks ctx
+// at every stage boundary, at every Stage-2 rip-up pass boundary, before
+// each per-net DP assignment and rework of Stages 3-4, and inside the
+// worker-pool dispatch of the parallel per-net sections (par.ForEachCtx) —
+// so a cancelled or expired context aborts the run promptly at the next
+// checkpoint, returning an error that wraps ctx.Err(). A run that completes
+// is bit-identical to Run's: cancellation can only abort a run, never
+// change its result, because no checkpoint alters any computation.
+func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,6 +177,7 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 		return nil, err
 	}
 	st := &state{
+		ctx:      ctx,
 		c:        c,
 		p:        p,
 		eval:     eval,
@@ -181,6 +199,9 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "run", Net: -1})
 	}
 	run := func(stage int, f func() error) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: cancelled before stage %d: %w", stage, err)
+		}
 		st.stage = stage
 		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "stage", Stage: stage, Net: -1})
 		t0 := time.Now() //rabid:allow wallclock stage CPU is the tables' cpu(s) column, printed untapped
@@ -253,7 +274,7 @@ func (s *state) emitStage(ss StageStats) {
 // the shared graph and stay sequential.
 func (s *state) stage1() error {
 	bufs := obs.NewIndexBuffers(s.obs, len(s.c.Nets))
-	if err := par.ForEach(s.p.Workers, len(s.c.Nets), func(i int) error {
+	if err := par.ForEachCtx(s.ctx, s.p.Workers, len(s.c.Nets), func(i int) error {
 		t0 := bufs.Now()
 		rt, err := steiner.InitialRoute(s.c.Nets[i], s.p.Alpha)
 		if err != nil {
@@ -300,6 +321,11 @@ func (s *state) stage1() error {
 // the multicommodity-flow router when configured.
 func (s *state) stage2() error {
 	if s.p.UseMCFRouter {
+		// The MCF router has no internal checkpoints; it is bounded by its
+		// phase count, so the stage-boundary checks around it still apply.
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
 		mopt := mcf.Options{RouteOpt: s.p.RouteOpt, Obs: s.obs}
 		mopt.RouteOpt.Stage = 2
 		res, err := mcf.Route(s.g, s.c.Nets, mopt)
@@ -316,7 +342,7 @@ func (s *state) stage2() error {
 	order := s.orderByDelay(false) // smallest delay first
 	opt := s.p.RouteOpt
 	opt.Obs, opt.Stage = s.obs, 2
-	if _, err := route.ReduceCongestion(s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, opt); err != nil {
+	if _, err := route.ReduceCongestionCtx(s.ctx, s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, opt); err != nil {
 		return err
 	}
 	return s.refreshDelays()
@@ -341,6 +367,13 @@ func (s *state) stage3() error {
 	}
 	order := s.orderByDelay(true) // highest delay first
 	for _, i := range order {
+		// Per-net checkpoint: the DP is the pipeline's hottest loop, so a
+		// deadline must be able to land between nets, not only at stage
+		// boundaries. The demand decrement happens after the check so a
+		// cancelled run leaves p(v) consistent with the nets processed.
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
 		if !s.p.DisableDemandTerm {
 			s.addDemand(s.routes[i], -1/float64(s.c.Nets[i].L))
 		}
@@ -437,6 +470,11 @@ func (s *state) releaseNet(i int) {
 func (s *state) stage4() error {
 	order := s.orderByDelay(false)
 	for _, i := range order {
+		// Checked before releaseNet so a cancelled run never leaves a net
+		// stripped of its committed buffers.
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
 		s.releaseNet(i)
 		if err := s.reworkNet(i); err != nil {
 			return err
@@ -575,7 +613,7 @@ func (s *state) addDemand(rt *rtree.Tree, d float64) {
 // most critical. All broken nets are reported, joined in net-index order.
 func (s *state) refreshDelays() error {
 	evs := obs.NewIndexBuffers(s.obs, len(s.routes))
-	err := par.ForEach(s.p.Workers, len(s.routes), func(i int) error {
+	err := par.ForEachCtx(s.ctx, s.p.Workers, len(s.routes), func(i int) error {
 		var bufs []bufferdp.Buffer
 		if s.hasAsg[i] {
 			bufs = s.asg[i].Buffers

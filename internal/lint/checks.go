@@ -160,9 +160,10 @@ func (p *pass) isSortedKeyCollection(rs *ast.RangeStmt, rest []ast.Stmt) bool {
 // checkWallClock flags raw time.Now / time.Since reads. All pipeline timing
 // goes through internal/obs's gated clock (obs.Now / obs.Since and the
 // IndexBuffers equivalents), so untapped runs never touch the wall clock;
-// only the obs package itself may read it.
+// only the clock-exempt packages (obs itself and the service boundary)
+// may read it.
 func checkWallClock(p *pass) {
-	if p.pathElem() == clockPackage {
+	if clockExempt[p.pathElem()] {
 		return
 	}
 	for _, f := range p.pkg.Files {

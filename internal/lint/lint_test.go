@@ -147,17 +147,24 @@ func TestSelfClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sawLint, sawObs bool
+	var sawLint, sawObs, sawServer, sawCache bool
 	for _, pkg := range mod.Pkgs {
 		switch pkg.ImportPath {
 		case mod.Path + "/internal/lint":
 			sawLint = true
 		case mod.Path + "/internal/obs":
 			sawObs = true
+		case mod.Path + "/internal/server":
+			sawServer = true
+		case mod.Path + "/internal/cache":
+			sawCache = true
 		}
 	}
 	if !sawLint || !sawObs {
 		t.Fatalf("self-application must load internal/lint (%v) and internal/obs (%v)", sawLint, sawObs)
+	}
+	if !sawServer || !sawCache {
+		t.Fatalf("self-application must load internal/server (%v) and internal/cache (%v)", sawServer, sawCache)
 	}
 	for _, f := range Run(mod, nil) {
 		t.Errorf("tree not clean: %s", f)

@@ -8,8 +8,27 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/geom"
+)
+
+// Input bounds enforced by Validate and ReadJSON. Circuits are accepted
+// from untrusted network bodies (the planning service's POST endpoints),
+// so structurally absurd instances must fail fast with a precise error
+// instead of driving the pipeline into huge allocations or confusing
+// failures deep inside Run.
+const (
+	// MaxJSONBytes is ReadJSON's default decoder limit. The largest suite
+	// benchmark serializes to well under 1 MiB; 64 MiB leaves two orders
+	// of magnitude of headroom for dense industrial instances.
+	MaxJSONBytes = 64 << 20
+	// MaxTiles bounds GridW*GridH. 1<<24 (16.7M tiles) is ~3000x the
+	// paper's finest tiling and keeps every per-tile allocation sane.
+	MaxTiles = 1 << 24
+	// MaxSinksPerNet bounds a single net's fan-out; the suite's largest
+	// nets have tens of sinks.
+	MaxSinksPerNet = 1 << 16
 )
 
 // Pin is a net terminal: a chip-coordinate location and the tile containing
@@ -114,15 +133,28 @@ func (c *Circuit) TotalBufferSites() int {
 	return n
 }
 
-// Validate checks structural consistency: positive grid and tile size, the
-// buffer-site slice length, pin/tile agreement, per-net constraints, and
-// unique net IDs. It returns the first problem found.
+// Validate checks structural consistency: positive and bounded grid and
+// tile size, finite coordinates, the buffer-site slice length, pin/tile
+// agreement, per-net constraints, and unique net IDs. It returns the first
+// problem found. The finiteness and size bounds exist because circuits
+// arrive from untrusted network input: a NaN coordinate or an absurd grid
+// must be rejected here, with a precise error, not surface as a confusing
+// failure deep inside Run.
 func (c *Circuit) Validate() error {
 	if c.GridW <= 0 || c.GridH <= 0 {
 		return fmt.Errorf("netlist: %s: grid %dx%d must be positive", c.Name, c.GridW, c.GridH)
 	}
-	if c.TileUm <= 0 {
-		return fmt.Errorf("netlist: %s: tile size %g must be positive", c.Name, c.TileUm)
+	// The product is computed in int64 so a huge GridW*GridH is caught
+	// rather than overflowing NumTiles.
+	if int64(c.GridW)*int64(c.GridH) > MaxTiles {
+		return fmt.Errorf("netlist: %s: grid %dx%d has %d tiles, above the %d bound",
+			c.Name, c.GridW, c.GridH, int64(c.GridW)*int64(c.GridH), MaxTiles)
+	}
+	if c.TileUm <= 0 || math.IsInf(c.TileUm, 0) || math.IsNaN(c.TileUm) {
+		return fmt.Errorf("netlist: %s: tile size %g must be positive and finite", c.Name, c.TileUm)
+	}
+	if c.NumPads < 0 {
+		return fmt.Errorf("netlist: %s: negative pad count %d", c.Name, c.NumPads)
 	}
 	if len(c.BufferSites) != c.NumTiles() {
 		return fmt.Errorf("netlist: %s: %d buffer-site entries for %d tiles",
@@ -142,10 +174,20 @@ func (c *Circuit) Validate() error {
 		if len(n.Sinks) == 0 {
 			return fmt.Errorf("netlist: %s: net %d has no sinks", c.Name, n.ID)
 		}
+		if len(n.Sinks) > MaxSinksPerNet {
+			return fmt.Errorf("netlist: %s: net %d has %d sinks, above the %d bound",
+				c.Name, n.ID, len(n.Sinks), MaxSinksPerNet)
+		}
 		if n.L < 1 {
 			return fmt.Errorf("netlist: %s: net %d has length constraint %d < 1", c.Name, n.ID, n.L)
 		}
 		for _, p := range append([]Pin{n.Source}, n.Sinks...) {
+			// Finiteness must be checked before TileOf: int(NaN) and
+			// int(±Inf) are not meaningful tile coordinates.
+			if !finitePt(p.Pos) {
+				return fmt.Errorf("netlist: %s: net %d pin position (%g, %g) is not finite",
+					c.Name, n.ID, p.Pos.X, p.Pos.Y)
+			}
 			if !c.InGrid(p.Tile) {
 				return fmt.Errorf("netlist: %s: net %d pin tile %v outside grid", c.Name, n.ID, p.Tile)
 			}
@@ -158,6 +200,11 @@ func (c *Circuit) Validate() error {
 	return nil
 }
 
+// finitePt reports whether both coordinates are finite (no NaN, no ±Inf).
+func finitePt(p geom.FPt) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
 // WriteJSON serializes the circuit with indentation.
 func (c *Circuit) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -165,16 +212,54 @@ func (c *Circuit) WriteJSON(w io.Writer) error {
 	return enc.Encode(c)
 }
 
-// ReadJSON deserializes and validates a circuit.
+// ReadJSON deserializes and validates a circuit, refusing inputs larger
+// than MaxJSONBytes. Use ReadJSONLimit to choose a different bound.
 func ReadJSON(r io.Reader) (*Circuit, error) {
+	return ReadJSONLimit(r, MaxJSONBytes)
+}
+
+// ReadJSONLimit deserializes and validates a circuit, reading at most
+// limit bytes (limit <= 0 means no bound — only for trusted local input).
+// Oversized and trailing-garbage inputs fail with precise errors, so a
+// malformed network body is rejected at the boundary instead of driving
+// Validate (or worse, Run) into confusing failures.
+func ReadJSONLimit(r io.Reader, limit int64) (*Circuit, error) {
+	if limit > 0 {
+		// One extra byte distinguishes "exactly limit" from "over limit".
+		r = io.LimitReader(r, limit+1)
+	}
+	cr := &countingReader{r: r}
+	dec := json.NewDecoder(cr)
 	var c Circuit
-	if err := json.NewDecoder(r).Decode(&c); err != nil {
+	if err := dec.Decode(&c); err != nil {
+		if limit > 0 && cr.n > limit {
+			return nil, fmt.Errorf("netlist: input exceeds %d bytes", limit)
+		}
 		return nil, fmt.Errorf("netlist: decode: %w", err)
+	}
+	if limit > 0 && cr.n > limit {
+		return nil, fmt.Errorf("netlist: input exceeds %d bytes", limit)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("netlist: trailing data after circuit JSON")
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	return &c, nil
+}
+
+// countingReader tracks how many bytes the decoder actually consumed, so
+// the size-limit error is distinguishable from a syntax error.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // DecomposeTwoPin returns a copy of the circuit in which every multi-sink

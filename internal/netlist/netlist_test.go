@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -52,6 +53,22 @@ func TestValidateRejections(t *testing.T) {
 		{"bad L", func(c *Circuit) { c.Nets[0].L = 0 }},
 		{"pin off grid", func(c *Circuit) { c.Nets[0].Source.Tile = geom.Pt{X: 9, Y: 9} }},
 		{"pin/tile mismatch", func(c *Circuit) { c.Nets[0].Source.Pos = geom.FPt{X: 350, Y: 250} }},
+		{"nan tile size", func(c *Circuit) { c.TileUm = math.NaN() }},
+		{"inf tile size", func(c *Circuit) { c.TileUm = math.Inf(1) }},
+		{"negative pads", func(c *Circuit) { c.NumPads = -1 }},
+		{"nan pin pos", func(c *Circuit) { c.Nets[0].Sinks[0].Pos.X = math.NaN() }},
+		{"inf pin pos", func(c *Circuit) { c.Nets[1].Source.Pos.Y = math.Inf(-1) }},
+		{"grid above tile bound", func(c *Circuit) {
+			// 65536^2 = 1<<32 tiles; the bound must trip before the
+			// buffer-site length check forces an absurd allocation.
+			c.GridW, c.GridH = 1<<16, 1<<16
+		}},
+		{"sink fan-out above bound", func(c *Circuit) {
+			c.Nets[0].Sinks = make([]Pin, MaxSinksPerNet+1)
+			for i := range c.Nets[0].Sinks {
+				c.Nets[0].Sinks[i] = c.Nets[0].Source
+			}
+		}},
 	}
 	for _, tc := range cases {
 		c := small()
@@ -154,6 +171,36 @@ func TestReadJSONRejectsInvalid(t *testing.T) {
 	}
 	if _, err := ReadJSON(strings.NewReader(`{garbage`)); err == nil {
 		t.Error("expected decode error")
+	}
+}
+
+func TestReadJSONLimitRejectsOversize(t *testing.T) {
+	c := small()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	limit := int64(buf.Len() / 2)
+	_, err := ReadJSONLimit(bytes.NewReader(buf.Bytes()), limit)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("undersized limit: got %v, want size-limit error", err)
+	}
+	// At or above the encoded size the same input is accepted.
+	if _, err := ReadJSONLimit(bytes.NewReader(buf.Bytes()), int64(buf.Len())); err != nil {
+		t.Fatalf("exact limit rejected valid circuit: %v", err)
+	}
+}
+
+func TestReadJSONRejectsTrailingData(t *testing.T) {
+	c := small()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"more":"stuff"}`)
+	_, err := ReadJSON(&buf)
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("got %v, want trailing-data error", err)
 	}
 }
 

@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -37,8 +38,20 @@ func Workers(n int) int {
 // whole pool. With a single worker (or a single item) fn runs inline on
 // the calling goroutine in index order.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done no
+// new index is handed out, on any worker. Indices already dispatched run to
+// completion (fn is never interrupted mid-item), so shared state is left at
+// an item boundary. The returned error joins ctx.Err() — when the context
+// was cancelled — after the per-index errors, so callers observe both the
+// partial failures and the cancellation (errors.Is sees through the join).
+// Which indices ran before the cancellation landed is timing-dependent;
+// with an undone context the behaviour and results are exactly ForEach's.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	w := Workers(workers)
 	if w > n {
@@ -47,9 +60,12 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	errs := make([]error, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			errs[i] = capture(i, fn)
 		}
-		return errors.Join(errs...)
+		return errors.Join(append(errs, ctx.Err())...)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -57,7 +73,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -67,7 +83,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	return errors.Join(append(errs, ctx.Err())...)
 }
 
 // capture invokes fn(i), converting a panic into an error.

@@ -1,9 +1,12 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -159,6 +162,95 @@ func TestForEachDeterministicResults(t *testing.T) {
 			if out[i] != ref[i] {
 				t.Fatalf("workers=%d: slot %d = %v, want %v", w, i, out[i], ref[i])
 			}
+		}
+	}
+}
+
+// TestForEachCtxUndoneMatchesForEach: with a live context the ctx path is
+// behaviourally identical to ForEach — every index runs exactly once, no
+// error — for every worker count the determinism suite exercises.
+func TestForEachCtxUndoneMatchesForEach(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 0} {
+		n := 37
+		counts := make([]atomic.Int32, n)
+		if err := ForEachCtx(context.Background(), w, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachCtxCancelStopsDispatch: after cancel no new index is handed
+// out, on any worker count, and ctx.Err() is in the joined error.
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		release := make(chan struct{})
+		var once sync.Once
+		err := ForEachCtx(ctx, w, 1000, func(i int) error {
+			started.Add(1)
+			once.Do(func() {
+				cancel()
+				close(release)
+			})
+			<-release
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: error %v does not wrap context.Canceled", w, err)
+		}
+		// Each worker can have at most one item in flight when the cancel
+		// lands, so the started count is bounded by the pool size — far
+		// from the 1000 requested items.
+		if s := started.Load(); s > int32(Workers(w)) {
+			t.Errorf("workers=%d: %d items started after cancel, want <= %d", w, s, Workers(w))
+		}
+	}
+}
+
+// TestForEachCtxCancelKeepsItemErrors: per-index failures recorded before
+// the cancellation survive in the joined error, alongside ctx.Err().
+func TestForEachCtxCancelKeepsItemErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEachCtx(ctx, 1, 10, func(i int) error {
+		if i == 2 {
+			cancel()
+			return fmt.Errorf("item 2 failed")
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "item 2 failed") {
+		t.Errorf("joined error lost the per-item failure: %v", err)
+	}
+}
+
+// TestForEachCtxPreCancelled: an already-done context runs nothing.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		called := atomic.Int32{}
+		err := ForEachCtx(ctx, w, 50, func(i int) error { called.Add(1); return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		// The single-worker path checks before every index; the parallel
+		// path checks before each dispatch, so at most one item per worker
+		// can slip in between spawn and the first check.
+		if c := called.Load(); c > int32(w) {
+			t.Errorf("workers=%d: %d items ran on a pre-cancelled context", w, c)
 		}
 	}
 }

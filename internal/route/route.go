@@ -7,6 +7,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -237,8 +238,20 @@ func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order [
 // number of passes executed. Each pass is a trace span carrying the
 // post-pass overflow trajectory and a congestion-heat snapshot.
 func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options) (int, error) {
+	return ReduceCongestionCtx(context.Background(), g, nets, routes, order, maxPasses, opt)
+}
+
+// ReduceCongestionCtx is ReduceCongestion with a cancellation checkpoint at
+// every rip-up pass boundary: once ctx is done no further pass starts and
+// ctx.Err() is returned with the passes completed so far. A pass itself
+// always runs to completion, so the graph's usage accounting is only ever
+// observed at a pass boundary.
+func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options) (int, error) {
 	passes := 0
 	for passes < maxPasses {
+		if err := ctx.Err(); err != nil {
+			return passes, err
+		}
 		if g.WireCongestion().Overflow == 0 && passes > 0 {
 			break
 		}

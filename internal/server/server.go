@@ -1,0 +1,475 @@
+// Package server is the planning service layer: a stdlib-only HTTP/JSON
+// daemon exposing the RABID pipeline (POST /v1/plan), the BBP/FR baseline
+// (POST /v1/bbp), a health probe (GET /v1/healthz), and a telemetry
+// snapshot (GET /v1/metricz).
+//
+// Admission is bounded: at most MaxInflight planning runs execute
+// concurrently, at most QueueDepth more wait for a slot, and beyond that
+// requests fail fast with 429 and a Retry-After header instead of piling
+// onto the queue. Admission happens inside the cache's singleflight
+// compute, so cache hits and coalesced duplicate requests never consume a
+// run slot — only real core runs do.
+//
+// Every response body is deterministic: reports are serialized with the
+// wall-clock CPU columns zeroed, so the cached bytes of a hit are
+// byte-identical to what a fresh run would produce (the property the
+// content-addressed cache's soundness rests on). The content key doubles
+// as the ETag; the X-Cache header reports hit or miss.
+//
+// This package reads the wall clock directly (request-latency spans and
+// deadline plumbing) and is on the rabidlint clock-exempt list: at the
+// service boundary wall time is the quantity being measured, and none of
+// it reaches a response body.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bbp"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a sensible default applied by New.
+type Config struct {
+	// MaxInflight bounds concurrent core runs (default: GOMAXPROCS).
+	MaxInflight int
+	// QueueDepth bounds runs waiting for a slot beyond MaxInflight
+	// (default 16; negative means 0 — reject as soon as all slots are
+	// busy).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request body
+	// does not set timeout_ms (default 60s).
+	DefaultTimeout time.Duration
+	// CacheEntries bounds the content-addressed result cache (default
+	// 128; see cache.New for the 0 semantics).
+	CacheEntries int
+	// MaxBodyBytes caps request bodies (default netlist.MaxJSONBytes).
+	MaxBodyBytes int64
+	// Workers is core.Params.Workers for every run (0 = GOMAXPROCS;
+	// results are bit-identical for every value, so this is purely a
+	// server resource knob and is excluded from cache keys).
+	Workers int
+	// Metrics receives the service's telemetry — request spans, cache
+	// counters, and the pipeline's own events — and backs /v1/metricz.
+	// nil gets a fresh registry.
+	Metrics *obs.Metrics
+}
+
+// errBusy is the admission-rejection sentinel, mapped to 429.
+var errBusy = errors.New("server: all run slots busy and queue full")
+
+// Server routes and executes planning requests. Create with New; serve
+// via Handler.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	cache   *cache.Cache
+	mux     *http.ServeMux
+
+	sem    chan struct{} // one token per running core job
+	queued atomic.Int64  // running + waiting admissions
+}
+
+// New builds a Server, applying Config defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	} else if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = netlist.MaxJSONBytes
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		cache:   cache.New(cfg.CacheEntries, cfg.Metrics),
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+	}
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/bbp", s.handleBBP)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metricz", s.handleMetricz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// admit acquires a run slot, waiting in the bounded queue. It fails fast
+// with errBusy when MaxInflight+QueueDepth admissions are already in the
+// system, and with ctx.Err() when the request deadline expires while
+// queued.
+func (s *Server) admit(ctx context.Context) error {
+	if s.queued.Add(1) > int64(s.cfg.MaxInflight+s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.count("server.rejected")
+		return errBusy
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// release returns an admitted request's run slot.
+func (s *Server) release() {
+	<-s.sem
+	s.queued.Add(-1)
+}
+
+// requestContext derives the request's deadline: timeout_ms from the body
+// when positive, the configured default otherwise.
+func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// planRequest is the POST /v1/plan body. Unknown fields are rejected.
+type planRequest struct {
+	Circuit   json.RawMessage `json:"circuit"`
+	Params    *planParams     `json:"params,omitempty"`
+	TimeoutMs int64           `json:"timeout_ms,omitempty"`
+}
+
+// planParams overrides core.DefaultParams field by field; absent fields
+// keep the paper's defaults. Workers and the observer are server-owned
+// and deliberately not settable per request.
+type planParams struct {
+	Alpha                *float64 `json:"alpha,omitempty"`
+	RouteAlpha           *float64 `json:"route_alpha,omitempty"`
+	RouteLengthWeight    *float64 `json:"route_length_weight,omitempty"`
+	RouteOverflowPenalty *float64 `json:"route_overflow_penalty,omitempty"`
+	MaxRipupPasses       *int     `json:"max_ripup_passes,omitempty"`
+	Capacity             *int     `json:"capacity,omitempty"`
+	TargetStage1Avg      *float64 `json:"target_stage1_avg,omitempty"`
+	SkipStage4           *bool    `json:"skip_stage4,omitempty"`
+	DisableDemandTerm    *bool    `json:"disable_demand_term,omitempty"`
+	UseMCFRouter         *bool    `json:"use_mcf_router,omitempty"`
+}
+
+// apply merges the overrides into p.
+func (pp *planParams) apply(p *core.Params) {
+	if pp == nil {
+		return
+	}
+	if pp.Alpha != nil {
+		p.Alpha = *pp.Alpha
+	}
+	if pp.RouteAlpha != nil {
+		p.RouteOpt.Alpha = *pp.RouteAlpha
+	}
+	if pp.RouteLengthWeight != nil {
+		p.RouteOpt.LengthWeight = *pp.RouteLengthWeight
+	}
+	if pp.RouteOverflowPenalty != nil {
+		p.RouteOpt.OverflowPenalty = *pp.RouteOverflowPenalty
+	}
+	if pp.MaxRipupPasses != nil {
+		p.MaxRipupPasses = *pp.MaxRipupPasses
+	}
+	if pp.Capacity != nil {
+		p.Capacity = *pp.Capacity
+	}
+	if pp.TargetStage1Avg != nil {
+		p.TargetStage1Avg = *pp.TargetStage1Avg
+	}
+	if pp.SkipStage4 != nil {
+		p.SkipStage4 = *pp.SkipStage4
+	}
+	if pp.DisableDemandTerm != nil {
+		p.DisableDemandTerm = *pp.DisableDemandTerm
+	}
+	if pp.UseMCFRouter != nil {
+		p.UseMCFRouter = *pp.UseMCFRouter
+	}
+}
+
+// planResponse is the POST /v1/plan body: the content key and the run's
+// report with the wall-clock CPU columns zeroed, so the bytes are a pure
+// function of the request.
+type planResponse struct {
+	Key    string       `json:"key"`
+	Report *core.Report `json:"report"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer s.span("server.plan", t0)
+	var req planRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	c, err := netlist.ReadJSONLimit(bytes.NewReader(req.Circuit), 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	p := core.DefaultParams()
+	req.Params.apply(&p)
+	p.Workers = s.cfg.Workers
+	p.Observer = s.metrics
+	key, err := cache.PlanKey(c, p)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	body, hit, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+		if err := s.admit(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		res, err := core.RunContext(ctx, c, p)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := res.Report()
+		if err != nil {
+			return nil, err
+		}
+		for i := range rep.Stages {
+			rep.Stages[i].CPUSeconds = 0
+		}
+		return json.Marshal(planResponse{Key: key, Report: rep})
+	})
+	s.reply(w, key, body, hit, err)
+}
+
+// bbpRequest is the POST /v1/bbp body. The circuit must already be
+// decomposed to two-pin nets (the form the paper's comparison uses).
+type bbpRequest struct {
+	Circuit   json.RawMessage `json:"circuit"`
+	Capacity  int             `json:"capacity"`
+	TimeoutMs int64           `json:"timeout_ms,omitempty"`
+}
+
+// bbpResponse carries the baseline's Table V statistics (CPU excluded —
+// responses are deterministic).
+type bbpResponse struct {
+	Key        string  `json:"key"`
+	Buffers    int     `json:"buffers"`
+	MTAP       float64 `json:"mtap"`
+	WirelenMm  float64 `json:"wirelength_mm"`
+	WireMax    float64 `json:"wire_congestion_max"`
+	WireAvg    float64 `json:"wire_congestion_avg"`
+	Overflows  int     `json:"overflows"`
+	MaxDelayPs float64 `json:"max_delay_ps"`
+	AvgDelayPs float64 `json:"avg_delay_ps"`
+}
+
+func (s *Server) handleBBP(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer s.span("server.bbp", t0)
+	var req bbpRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	c, err := netlist.ReadJSONLimit(bytes.NewReader(req.Circuit), 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// BBP's own preconditions are client input problems: report them as
+	// 400 up front rather than 500 out of the run.
+	if req.Capacity < 1 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: capacity %d < 1", req.Capacity))
+		return
+	}
+	for _, n := range c.Nets {
+		if len(n.Sinks) != 1 {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Errorf("server: net %d has %d sinks; POST a two-pin-decomposed circuit", n.ID, len(n.Sinks)))
+			return
+		}
+	}
+	key, err := cache.BBPKey(c, req.Capacity, core.DefaultParams().Tech)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	body, hit, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+		if err := s.admit(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		// The baseline has no internal checkpoints; honor the deadline at
+		// least at the admission boundary.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := bbp.Run(c, req.Capacity, core.DefaultParams().Tech, s.metrics)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(bbpResponse{
+			Key:        key,
+			Buffers:    res.Buffers,
+			MTAP:       res.MTAP,
+			WirelenMm:  res.WirelenMm,
+			WireMax:    res.WireMax,
+			WireAvg:    res.WireAvg,
+			Overflows:  res.Overflows,
+			MaxDelayPs: res.MaxDelayPs,
+			AvgDelayPs: res.AvgDelayPs,
+		})
+	})
+	s.reply(w, key, body, hit, err)
+}
+
+// healthzResponse reports liveness and admission pressure.
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Inflight int    `json:"inflight"`
+	Queued   int64  `json:"queued"`
+	Capacity int    `json:"capacity"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthzResponse{
+		Status:   "ok",
+		Inflight: len(s.sem),
+		Queued:   s.queued.Load(),
+		Capacity: s.cfg.MaxInflight + s.cfg.QueueDepth,
+	})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.metrics.WriteJSON(w); err != nil {
+		// Headers are gone; nothing to do but note it in telemetry.
+		s.count("server.metricz_write_error")
+	}
+}
+
+// decodeBody reads a size-capped request body into dst, rejecting unknown
+// fields and trailing data. It writes the error response itself and
+// reports whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(dst)
+	if err == nil && dec.More() {
+		err = errors.New("server: trailing data after request JSON")
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("server: request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// reply writes a completed plan/bbp outcome: the deterministic body with
+// cache metadata on a success, the mapped error otherwise.
+func (s *Server) reply(w http.ResponseWriter, key string, body []byte, hit bool, err error) {
+	if err != nil {
+		s.fail(w, statusOf(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", strconv.Quote(key))
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(body); err != nil {
+		s.count("server.write_error")
+	}
+}
+
+// statusOf maps a run/admission error to its HTTP status: 429 for a full
+// queue, 504 for a deadline that expired (queued or mid-run), 503 for a
+// request cancelled by the client, 500 otherwise.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, errBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorResponse is the JSON error body of every non-200 response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// fail writes the error response, adding Retry-After on 429 so clients
+// back off instead of hammering a saturated queue.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"internal encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(b); err != nil {
+		s.count("server.write_error")
+	}
+}
+
+// span records one request's wall-clock latency under scope.
+func (s *Server) span(scope string, t0 time.Time) {
+	obs.Emit(s.metrics, obs.Event{Kind: obs.KindSpanBegin, Scope: scope, Net: -1})
+	obs.Emit(s.metrics, obs.Event{Kind: obs.KindSpanEnd, Scope: scope, Net: -1, Dur: time.Since(t0)})
+}
+
+func (s *Server) count(scope string) {
+	obs.Emit(s.metrics, obs.Event{Kind: obs.KindCounter, Scope: scope, Net: -1, Value: 1})
+}

@@ -23,10 +23,12 @@
 package rabid
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/anneal"
 	"repro/internal/bbp"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/decap"
 	"repro/internal/delay"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/mcf"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/siteplan"
 	"repro/internal/slew"
 	"repro/internal/tech"
@@ -112,6 +115,15 @@ func Default018() Tech { return tech.Default018() }
 
 // Run executes the four-stage RABID heuristic on a circuit.
 func Run(c *Circuit, p Params) (*Result, error) { return core.Run(c, p) }
+
+// RunContext is Run with cooperative cancellation: the pipeline checks ctx
+// at stage boundaries, rip-up-pass boundaries, and per-net dispatch, so an
+// expired deadline aborts the run promptly with ctx's error. A run that
+// completes is bit-identical to Run — cancellation can stop work, never
+// change results.
+func RunContext(ctx context.Context, c *Circuit, p Params) (*Result, error) {
+	return core.RunContext(ctx, c, p)
+}
 
 // RunBBP runs the BBP/FR baseline on a two-pin-decomposed circuit with the
 // given uniform edge capacity. o taps the run's telemetry ("bbp.run" span);
@@ -356,3 +368,24 @@ type errUnknownTable int
 func (e errUnknownTable) Error() string {
 	return "rabid: unknown table (want 1-5)"
 }
+
+// --- planning service -----------------------------------------------------
+
+// ServerConfig and PlanServer expose the HTTP planning service (see
+// internal/server and cmd/rabidd): POST /v1/plan and /v1/bbp with bounded
+// admission, per-request deadlines, and a content-addressed result cache;
+// GET /v1/healthz and /v1/metricz for probing and telemetry.
+type (
+	ServerConfig = server.Config
+	PlanServer   = server.Server
+)
+
+// NewPlanServer builds the planning service; serve its Handler with any
+// http.Server (cmd/rabidd is the packaged daemon).
+func NewPlanServer(cfg ServerConfig) *PlanServer { return server.New(cfg) }
+
+// PlanCacheKey returns the content address of a RABID run — the hex
+// SHA-256 of the canonical (circuit, params, tech) serialization the
+// service's cache and ETags use. It fails for params carrying a custom
+// route weight function, which cannot be addressed by content.
+func PlanCacheKey(c *Circuit, p Params) (string, error) { return cache.PlanKey(c, p) }

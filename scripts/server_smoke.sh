@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Server smoke test (CI's server-smoke job; runnable locally from the repo
+# root). End-to-end over a real daemon:
+#
+#   1. start rabidd and wait for /v1/healthz,
+#   2. POST a suite circuit to /v1/plan twice — the first response must be
+#      a cache miss, the second a hit, and the bodies byte-identical (the
+#      content-addressed cache's soundness claim),
+#   3. scrape /v1/metricz and validate it with cmd/metricscheck (stage
+#      spans present, every exported value finite),
+#   4. SIGTERM the daemon and require a clean drain: exit status 0.
+set -euo pipefail
+
+addr=127.0.0.1:18080
+workdir=$(mktemp -d)
+pid=
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/rabidd" ./cmd/rabidd
+go build -o "$workdir/genbench" ./cmd/genbench
+go build -o "$workdir/metricscheck" ./cmd/metricscheck
+
+"$workdir/genbench" -bench apte -grid 10x11 -o "$workdir/apte.json"
+printf '{"circuit":%s,"timeout_ms":120000}' "$(cat "$workdir/apte.json")" \
+  > "$workdir/req.json"
+
+"$workdir/rabidd" -addr "$addr" &
+pid=$!
+
+for _ in $(seq 1 100); do
+  curl -sf "http://$addr/v1/healthz" >/dev/null 2>&1 && break
+  kill -0 "$pid" 2>/dev/null || { echo "rabidd died during startup" >&2; exit 1; }
+  sleep 0.1
+done
+curl -sf "http://$addr/v1/healthz" >/dev/null
+
+curl -sf -D "$workdir/h1.txt" -o "$workdir/r1.json" \
+  -X POST --data-binary @"$workdir/req.json" "http://$addr/v1/plan"
+curl -sf -D "$workdir/h2.txt" -o "$workdir/r2.json" \
+  -X POST --data-binary @"$workdir/req.json" "http://$addr/v1/plan"
+
+grep -qi '^x-cache: miss' "$workdir/h1.txt" || {
+  echo "first plan was not a cache miss:"; cat "$workdir/h1.txt"; exit 1; }
+grep -qi '^x-cache: hit' "$workdir/h2.txt" || {
+  echo "second plan was not a cache hit:"; cat "$workdir/h2.txt"; exit 1; }
+cmp "$workdir/r1.json" "$workdir/r2.json" || {
+  echo "cached response is not byte-identical to the fresh one"; exit 1; }
+
+curl -sf -o "$workdir/metricz.json" "http://$addr/v1/metricz"
+"$workdir/metricscheck" "$workdir/metricz.json"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "rabidd drain exited nonzero" >&2; exit 1; }
+pid=
+echo "server smoke OK: miss->hit byte-identical, metricz valid, clean drain"
