@@ -141,6 +141,40 @@ func BenchmarkSuiteFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSuite runs the full four-stage pipeline over every suite
+// benchmark at the coarse unit-test tilings, sequentially with one worker —
+// the end-to-end workload the router hot-path overhaul targets. ns/op and
+// allocs/op here are the system-level counterpart of the internal/route
+// kernel microbenchmarks (BenchmarkReroute etc.); scripts/bench_compare.sh
+// snapshots both into BENCH_route.json.
+func BenchmarkRunSuite(b *testing.B) {
+	names := append(append([]string{}, exp.CBLNames...), exp.RandomNames...)
+	type job struct {
+		c *Circuit
+		p Params
+	}
+	jobs := make([]job, len(names))
+	for i, name := range names {
+		g := coarseGrids[name]
+		c, err := GenerateBenchmark(name, GenOptions{GridW: g[0], GridH: g[1]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := BenchmarkParams(name)
+		p.Workers = 1
+		jobs[i] = job{c, p}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			if _, err := Run(j.c, j.p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- core-algorithm microbenchmarks ----------------------------------
 
 // pathTree builds a straight n-tile route.

@@ -1,0 +1,220 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, and compares two such documents.
+//
+//	go test -run '^$' -bench . -benchmem ./internal/route | benchjson -o BENCH_route.json
+//	benchjson -compare baseline.json current.json
+//
+// The JSON form is what the repo checks in as benchmark baselines
+// (BENCH_route.json) and what CI uploads as artifacts: one object with the
+// host fingerprint lines go test prints (goos/goarch/pkg/cpu) and a
+// name-sorted benchmark list, so diffs between runs are line-local.
+//
+// Compare mode prints a per-benchmark delta table (ns/op, B/op, allocs/op)
+// and exits 0; it is a reporting tool, not a gate — wall-clock numbers from
+// shared CI runners are too noisy to fail a build on. The allocation
+// contracts that must not regress are enforced by tests
+// (internal/route/alloc_test.go), not by this comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name     string  `json:"name"`
+	Pkg      string  `json:"pkg,omitempty"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"bytes_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the checked-in/artifact document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	compare := flag.Bool("compare", false, "compare two JSON reports: benchjson -compare old.json new.json")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareReports(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` text output. Unknown lines are ignored so
+// test chatter (PASS, ok, warm-up logs) passes through harmlessly.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		a, b := rep.Benchmarks[i], rep.Benchmarks[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	return rep, nil
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkReroute-8   27428   43007 ns/op   1 B/op   0 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix so baselines compare across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iters: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp, seen = v, true
+		case "B/op":
+			b.BPerOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		}
+	}
+	return b, seen
+}
+
+func load(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(buf, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports prints old-vs-new deltas for every benchmark present in
+// both reports, and names the ones present in only one.
+func compareReports(oldPath, newPath string, w io.Writer) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %14s %14.0f %8s %12s %12.0f\n",
+				nb.Name, "(new)", nb.NsPerOp, "", "", nb.AllocsOp)
+			continue
+		}
+		delete(oldBy, nb.Name)
+		delta := "n/a"
+		if ob.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nb.NsPerOp-ob.NsPerOp)/ob.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %8s %12.0f %12.0f\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsOp, nb.AllocsOp)
+	}
+	gone := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-28s %14.0f %14s\n", name, oldBy[name].NsPerOp, "(removed)")
+	}
+	return nil
+}

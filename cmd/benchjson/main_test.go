@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/route
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReroute-8         	   19454	     55129 ns/op	       5 B/op	       0 allocs/op
+BenchmarkRipupPass-8       	     186	   6877608 ns/op	    2587 B/op	       2 allocs/op
+PASS
+ok  	repro/internal/route	5.336s
+pkg: repro
+BenchmarkRunSuite 	       1	 737029046 ns/op	185101016 B/op	 2833688 allocs/op
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("host fingerprint not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	// Sorted by (pkg, name): repro before repro/internal/route.
+	if rep.Benchmarks[0].Name != "BenchmarkRunSuite" {
+		t.Errorf("sort order wrong: first is %s", rep.Benchmarks[0].Name)
+	}
+	var reroute *Benchmark
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name == "BenchmarkReroute" {
+			reroute = &rep.Benchmarks[i]
+		}
+	}
+	if reroute == nil {
+		t.Fatal("BenchmarkReroute missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if reroute.Iters != 19454 || reroute.NsPerOp != 55129 || reroute.BPerOp != 5 || reroute.AllocsOp != 0 {
+		t.Errorf("BenchmarkReroute fields: %+v", *reroute)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("no-benchmark input accepted")
+	}
+}
+
+func TestParseLineNonBench(t *testing.T) {
+	if _, ok := parseLine("BenchmarkBroken-8 notanumber 12 ns/op"); ok {
+		t.Error("malformed iteration count accepted")
+	}
+	if _, ok := parseLine("BenchmarkNoMetrics-8 12"); ok {
+		t.Error("line without ns/op accepted")
+	}
+}

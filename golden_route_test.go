@@ -1,0 +1,121 @@
+package rabid
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/par"
+)
+
+// updateGolden regenerates the checked-in router golden fixtures. The
+// fixtures were produced by the pre-workspace router and lock the router
+// overhaul to byte-identical outputs; regenerate only when a change is
+// *meant* to alter results (and say so in the PR).
+var updateGolden = flag.Bool("update-route-golden", false, "rewrite testdata/golden_route fixtures")
+
+// goldenResult is the canonical full-result serialization the router
+// equivalence fixtures store: every stage statistic (CPU zeroed — wall
+// time is the one nondeterministic output), every route tile-by-tile, and
+// every buffer assignment. Byte identity of this document is a much
+// stronger check than the stage-stat comparisons of TestPipelineDeterminism:
+// a single moved route tile or re-ordered tree node changes the bytes.
+type goldenResult struct {
+	Capacity int          `json:"capacity"`
+	Stages   []StageStats `json:"stages"`
+	Routes   []goldenTree `json:"routes"`
+	Buffers  [][]int      `json:"buffers"` // per net: flattened (node, branch) pairs
+}
+
+type goldenTree struct {
+	Tiles   [][2]int `json:"tiles"` // node order IS part of the contract
+	Parents []int    `json:"parents"`
+	Sinks   []int    `json:"sinks"`
+}
+
+func goldenBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	gr := goldenResult{Capacity: res.Capacity}
+	for _, s := range res.Stages {
+		s.CPU = 0
+		gr.Stages = append(gr.Stages, s)
+	}
+	for _, rt := range res.Routes {
+		gt := goldenTree{Parents: rt.Parent, Sinks: rt.SinkNode}
+		for _, p := range rt.Tile {
+			gt.Tiles = append(gt.Tiles, [2]int{p.X, p.Y})
+		}
+		gr.Routes = append(gr.Routes, gt)
+	}
+	for _, a := range res.Assignments {
+		pairs := []int{}
+		for _, b := range a.Buffers {
+			pairs = append(pairs, b.Node, b.Branch)
+		}
+		gr.Buffers = append(gr.Buffers, pairs)
+	}
+	b, err := json.MarshalIndent(gr, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenRouteEquivalence runs the full benchmark suite and asserts the
+// complete result — stage stats, route trees node for node, buffer
+// assignments — is byte-identical to the checked-in fixtures, for Workers 1
+// and 4. This is the acceptance gate of the router hot-path overhaul: the
+// workspace/adjacency/heap rewrite must be mechanically equivalent to the
+// original container/heap + map kernel, not merely "as good".
+func TestGoldenRouteEquivalence(t *testing.T) {
+	names := append(append([]string{}, exp.CBLNames...), exp.RandomNames...)
+	got := make([][]byte, len(names))
+	if err := par.ForEach(0, len(names), func(i int) error {
+		name := names[i]
+		g := coarseGrids[name]
+		c, err := GenerateBenchmark(name, GenOptions{GridW: g[0], GridH: g[1]})
+		if err != nil {
+			return err
+		}
+		for wi, workers := range []int{1, 4} {
+			p := BenchmarkParams(name)
+			p.Workers = workers
+			res, err := Run(c, p)
+			if err != nil {
+				return err
+			}
+			b := goldenBytes(t, res)
+			if wi == 0 {
+				got[i] = b
+			} else if !bytes.Equal(got[i], b) {
+				t.Errorf("%s: Workers=1 and Workers=4 results differ", name)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		path := filepath.Join("testdata", "golden_route", name+".json")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got[i], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s (regenerate deliberately with -update-route-golden)", err)
+		}
+		if !bytes.Equal(want, got[i]) {
+			t.Errorf("%s: result differs from golden fixture %s (router must stay byte-identical; see DESIGN.md \"Router hot path\")", name, path)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bufferdp"
 	"repro/internal/delay"
 	"repro/internal/netlist"
+	"repro/internal/route"
 	"repro/internal/rtree"
 )
 
@@ -30,6 +31,7 @@ func newTestState(t *testing.T, c *netlist.Circuit, p Params) *state {
 		hasAsg:   make([]bool, len(c.Nets)),
 		bufTiles: make([][]int, len(c.Nets)),
 		delays:   make([]float64, len(c.Nets)),
+		ws:       route.NewWorkspace(),
 	}
 	if err := s.stage1(); err != nil {
 		t.Fatal(err)

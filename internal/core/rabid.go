@@ -76,6 +76,13 @@ type Params struct {
 	// value (parallel sections buffer per net and flush in index order);
 	// only span durations vary run to run.
 	Observer obs.Observer
+	// WorkspacePool, when non-nil, supplies the run's router scratch
+	// workspace and takes it back afterwards, so a long-lived caller (the
+	// planning server) reuses the warmed arrays across runs. nil allocates
+	// a private workspace per run. Like Workers and Observer this is pure
+	// mechanism: it never affects results and is deliberately excluded from
+	// cache keys (see internal/cache planMaterial).
+	WorkspacePool *route.Pool
 }
 
 // DefaultParams returns the paper's parameter set.
@@ -147,6 +154,12 @@ type state struct {
 	delays   []float64 // per-net max sink delay, for ordering
 	obs      obs.Observer
 	stage    int // current pipeline stage, stamped on emitted events
+	// ws is the run's router workspace. Routing is sequential by design
+	// (the parallel sections never route — see "Parallel execution model"
+	// in DESIGN.md), so one workspace serves all of Stages 2 and 4; it is
+	// reused across nets and passes and, through Params.WorkspacePool,
+	// across runs.
+	ws *route.Workspace
 }
 
 // Run executes the full RABID pipeline on the circuit.
@@ -187,7 +200,9 @@ func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, err
 		bufTiles: make([][]int, len(c.Nets)),
 		delays:   make([]float64, len(c.Nets)),
 		obs:      p.Observer,
+		ws:       p.WorkspacePool.Get(), // nil pool => fresh workspace
 	}
+	defer p.WorkspacePool.Put(st.ws)
 	res := &Result{Circuit: c, Params: p}
 
 	// The run and stage timers read the wall clock unconditionally: the
@@ -342,7 +357,7 @@ func (s *state) stage2() error {
 	order := s.orderByDelay(false) // smallest delay first
 	opt := s.p.RouteOpt
 	opt.Obs, opt.Stage = s.obs, 2
-	if _, err := route.ReduceCongestionCtx(s.ctx, s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, opt); err != nil {
+	if _, err := route.ReduceCongestionCtx(s.ctx, s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, opt, s.ws); err != nil {
 		return err
 	}
 	return s.refreshDelays()
@@ -522,19 +537,23 @@ func (s *state) reworkNet(i int) error {
 		// Remove the whole net's wires, rebuild the tree with the new
 		// reconnection, and re-register. Blocked tiles are the tree tiles
 		// that must not be crossed: everything except the ripped interior
-		// and the endpoints themselves.
+		// and the endpoints themselves. The mask comes from the workspace
+		// and is cleared entry-by-entry right after the search, keeping
+		// each two-path O(tree) instead of O(grid).
 		route.RemoveUsage(s.g, rt)
-		interior := map[geom.Pt]bool{}
-		for _, v := range pick[1 : len(pick)-1] {
-			interior[rt.Tile[v]] = true
-		}
-		blocked := map[geom.Pt]bool{}
+		blocked := s.ws.BlockedMask(s.g.NumTiles())
 		for _, t := range rt.Tile {
-			if !interior[t] && t != head && t != tail {
-				blocked[t] = true
-			}
+			blocked[s.g.TileIndex(t)] = true
 		}
-		newPath, err := route.BufferAwarePath(s.g, tail, head, n.L, blocked, ropt)
+		for _, v := range pick[1 : len(pick)-1] {
+			blocked[s.g.TileIndex(rt.Tile[v])] = false
+		}
+		blocked[s.g.TileIndex(head)] = false
+		blocked[s.g.TileIndex(tail)] = false
+		newPath, err := route.BufferAwarePath(s.g, tail, head, n.L, blocked, ropt, s.ws)
+		for _, t := range rt.Tile {
+			blocked[s.g.TileIndex(t)] = false
+		}
 		if err != nil {
 			// Keep the old route if no reconnection exists (should not
 			// happen: the ripped path itself is always available).

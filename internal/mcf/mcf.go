@@ -107,6 +107,9 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 		pools[i] = append(pools[i], pooled{tree: rt, count: 1})
 	}
 
+	// One workspace for all phase routing. Never donate trees back to it:
+	// every Reroute result may be retained in a pool.
+	ws := route.NewWorkspace()
 	for phase := 0; phase < opt.Phases; phase++ {
 		popt := opt.RouteOpt
 		popt.Pass = phase + 1
@@ -114,7 +117,7 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "mcf.phase",
 			Stage: popt.Stage, Pass: popt.Pass, Net: -1})
 		for i, n := range nets {
-			rt, err := route.Reroute(g, n, popt)
+			rt, err := route.Reroute(g, n, popt, ws)
 			if err != nil {
 				return nil, fmt.Errorf("mcf: phase %d: %w", phase, err)
 			}

@@ -152,7 +152,7 @@ func TestComparableToRipupOnContention(t *testing.T) {
 func TestTreeKeyDistinguishesRoutes(t *testing.T) {
 	g, _ := tile.New(4, 4, nil, 8)
 	n := mkNet(0, geom.Pt{}, geom.Pt{X: 3, Y: 3})
-	a, err := route.Reroute(g, n, route.DefaultOptions())
+	a, err := route.Reroute(g, n, route.DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestTreeKeyDistinguishesRoutes(t *testing.T) {
 			g.AddWire(e)
 		}
 	}
-	b, err := route.Reroute(g, n, route.DefaultOptions())
+	b, err := route.Reroute(g, n, route.DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

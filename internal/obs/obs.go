@@ -95,7 +95,10 @@ type Event struct {
 	// only nondeterministic field; deterministic sinks omit it.
 	Dur time.Duration
 	// Vals is the per-tile field of a KindHeat event (row-major, like
-	// tile.Graph indices).
+	// tile.Graph indices). Emitters reuse the backing array across
+	// snapshots (the router's heat buffer lives in its workspace), so
+	// Vals is only valid for the duration of the Observe call: an
+	// observer that wants to keep a snapshot must copy it.
 	Vals []float64
 }
 

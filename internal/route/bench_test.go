@@ -1,0 +1,107 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/rtree"
+	"repro/internal/tile"
+)
+
+// benchWorkload builds a deterministic congested routing instance shaped
+// like a mid-size suite benchmark: a 32x32 grid, 120 nets of 1-3 sinks,
+// capacity tight enough that rip-up has real work to do.
+func benchWorkload(b testing.TB) (*tile.Graph, []*netlist.Net, []*rtree.Tree, []int) {
+	b.Helper()
+	const w, h, numNets = 32, 32, 120
+	sites := make([]int, w*h)
+	for i := range sites {
+		sites[i] = 4
+	}
+	g, err := tile.New(w, h, sites, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	nets := make([]*netlist.Net, numNets)
+	for i := range nets {
+		pin := func(p geom.Pt) netlist.Pin {
+			return netlist.Pin{Tile: p, Pos: geom.FPt{X: float64(p.X) * 100, Y: float64(p.Y) * 100}}
+		}
+		n := &netlist.Net{ID: i, Name: "b", L: 6,
+			Source: pin(geom.Pt{X: r.Intn(w), Y: r.Intn(h)})}
+		for k := 0; k <= r.Intn(3); k++ {
+			n.Sinks = append(n.Sinks, pin(geom.Pt{X: r.Intn(w), Y: r.Intn(h)}))
+		}
+		nets[i] = n
+	}
+	routes := make([]*rtree.Tree, numNets)
+	order := make([]int, numNets)
+	for i, n := range nets {
+		rt, err := Reroute(g, n, DefaultOptions(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		routes[i] = rt
+		AddUsage(g, rt)
+		order[i] = i
+	}
+	return g, nets, routes, order
+}
+
+// BenchmarkReroute measures one wavefront reroute of a multi-sink net on a
+// congested graph — the Stage-2 inner kernel. The returned tree is recycled
+// each iteration, the steady state RipupPass runs in, so allocs/op should
+// read 0 with a warmed workspace.
+func BenchmarkReroute(b *testing.B) {
+	g, nets, routes, _ := benchWorkload(b)
+	n := nets[17]
+	RemoveUsage(g, routes[17])
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := Reroute(g, n, DefaultOptions(), ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws.Recycle(rt)
+	}
+}
+
+// BenchmarkRipupPass measures one full Nair pass over every net — the unit
+// of Stage-2 work ReduceCongestion repeats.
+func BenchmarkRipupPass(b *testing.B) {
+	g, nets, routes, order := benchWorkload(b)
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := RipupPass(g, nets, routes, order, DefaultOptions(), ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBufferAwarePath measures the Stage-4 (tile, j) combined-cost maze
+// on a long two-path with a blocked tree mask.
+func BenchmarkBufferAwarePath(b *testing.B) {
+	g, _, routes, _ := benchWorkload(b)
+	tail, head := geom.Pt{X: 29, Y: 29}, geom.Pt{X: 2, Y: 2}
+	blocked := make([]bool, g.NumTiles())
+	for _, t := range routes[3].Tile {
+		blocked[g.TileIndex(t)] = true
+	}
+	blocked[g.TileIndex(tail)] = false
+	blocked[g.TileIndex(head)] = false
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BufferAwarePath(g, tail, head, 6, blocked, DefaultOptions(), ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,10 +6,10 @@
 package route
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -68,24 +68,23 @@ func edgeCost(g *tile.Graph, e int, opt Options) float64 {
 	return c + opt.LengthWeight
 }
 
-// pqItem is a priority-queue entry for the wavefront.
-type pqItem struct {
-	node int
-	key  float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].key < q[j].key }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// edgeCostMemo is edgeCost with a per-call memo: within one kernel call the
+// congestion state of g is static (a net's own wires are removed before it
+// reroutes), so every evaluation of an edge yields the same value and the
+// first one can be cached under the call's epoch. memo is false under
+// Options.Weight — a caller-supplied cost function may close over state the
+// workspace cannot see.
+func (ws *Workspace) edgeCostMemo(g *tile.Graph, e int, opt Options, memo bool) float64 {
+	if memo {
+		if ws.ecStamp[e] == ws.epoch {
+			return ws.ec[e]
+		}
+		c := edgeCost(g, e, opt)
+		ws.ecStamp[e] = ws.epoch
+		ws.ec[e] = c
+		return c
+	}
+	return edgeCost(g, e, opt)
 }
 
 // Reroute computes a fresh route tree for the net on the current congestion
@@ -93,98 +92,207 @@ func (q *pq) Pop() interface{} {
 // (see RemoveUsage). The route is a union of wavefront paths from the
 // source tile to every sink tile, traced back through the predecessor
 // labels, exactly as described for Stage 2.
-func Reroute(g *tile.Graph, n *netlist.Net, opt Options) (*rtree.Tree, error) {
+//
+// ws supplies the reusable scratch arrays and recycled tree storage; nil is
+// allowed (a private workspace is allocated). With a warmed workspace and a
+// nil observer the call performs no allocations.
+func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.Tree, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	src := n.Source.Tile
 	if !g.InGrid(src) {
 		return nil, fmt.Errorf("route: net %d source %v outside grid", n.ID, src)
 	}
 	nt := g.NumTiles()
-	key := make([]float64, nt)      // PD selection key
-	pathCost := make([]float64, nt) // accumulated edge cost from source
-	pred := make([]int, nt)
-	done := make([]bool, nt)
-	for i := range key {
-		key[i] = math.Inf(1)
-		pred[i] = -1
-	}
-	want := map[int]bool{}
+	ws.begin(g.NumEdges())
+	ws.growTiles(nt)
+	ep := ws.epoch
+	// Mark the sink tiles still to be reached; remaining counts distinct
+	// marked tiles (the wantStamp epoch check deduplicates co-located
+	// sinks, as the map insert used to).
+	remaining := 0
 	for _, s := range n.Sinks {
 		if !g.InGrid(s.Tile) {
 			return nil, fmt.Errorf("route: net %d sink %v outside grid", n.ID, s.Tile)
 		}
-		want[g.TileIndex(s.Tile)] = true
+		if ti := g.TileIndex(s.Tile); ws.wantStamp[ti] != ep {
+			ws.wantStamp[ti] = ep
+			remaining++
+		}
 	}
 	srcIdx := g.TileIndex(src)
-	delete(want, srcIdx)
+	if ws.wantStamp[srcIdx] == ep {
+		ws.wantStamp[srcIdx] = 0
+		remaining--
+	}
 
-	key[srcIdx] = 0
-	q := pq{{srcIdx, 0}}
-	var nbuf []geom.Pt
-	pops, pushes := 0, 1
-	for len(q) > 0 && len(want) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		pops++
+	ws.stamp[srcIdx] = ep
+	ws.key[srcIdx] = 0
+	ws.pathCost[srcIdx] = 0
+	ws.done[srcIdx] = false
+	ws.pushPQ(pqItem{srcIdx, 0})
+	memo := opt.Weight == nil
+	tally := opt.Obs != nil // counter bookkeeping only when someone listens
+	pops, pushes := 0, 0
+	if tally {
+		pushes = 1
+	}
+	for len(ws.q) > 0 && remaining > 0 {
+		it := ws.popPQ()
+		if tally {
+			pops++
+		}
 		u := it.node
-		if done[u] {
+		if ws.done[u] {
 			continue
 		}
-		done[u] = true
-		delete(want, u)
-		pu := g.TileAt(u)
-		nbuf = g.Neighbors(pu, nbuf[:0])
-		for _, pv := range nbuf {
-			v := g.TileIndex(pv)
-			if done[v] {
+		ws.done[u] = true
+		if ws.wantStamp[u] == ep {
+			ws.wantStamp[u] = 0
+			remaining--
+		}
+		nbrs, edges := g.Adjacency(u)
+		pcu := ws.pathCost[u]
+		base := opt.Alpha * pcu
+		for x, v32 := range nbrs {
+			v := int(v32)
+			if ws.stamp[v] != ep {
+				// First touch this call: an unstamped tile reads as
+				// key = +Inf, not done.
+				ws.stamp[v] = ep
+				ws.key[v] = math.Inf(1)
+				ws.done[v] = false
+			} else if ws.done[v] {
 				continue
 			}
-			e, _ := g.EdgeBetween(pu, pv)
-			ec := edgeCost(g, e, opt)
-			k := opt.Alpha*pathCost[u] + ec
-			if k < key[v] {
-				key[v] = k
-				pathCost[v] = pathCost[u] + ec
-				pred[v] = u
-				heap.Push(&q, pqItem{v, k})
-				pushes++
+			ec := ws.edgeCostMemo(g, int(edges[x]), opt, memo)
+			if k := base + ec; k < ws.key[v] {
+				ws.key[v] = k
+				ws.pathCost[v] = pcu + ec
+				//rabid:allow narrowcast tile indices are < NumTiles <= MaxInt32, enforced by tile.New
+				ws.pred[v] = int32(u)
+				ws.pushPQ(pqItem{v, k})
+				if tally {
+					pushes++
+				}
 			}
 		}
 	}
-	if opt.Obs != nil {
+	if tally {
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.pops", Stage: opt.Stage, Net: n.ID, Value: float64(pops)})
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.pushes", Stage: opt.Stage, Net: n.ID, Value: float64(pushes)})
 	}
-	if len(want) > 0 {
-		return nil, fmt.Errorf("route: net %d: %d sinks unreachable", n.ID, len(want))
+	if remaining > 0 {
+		return nil, fmt.Errorf("route: net %d: %d sinks unreachable", n.ID, remaining)
 	}
 	// Trace each sink back to the source; the union of predecessor paths is
-	// a tree because every node has one predecessor.
-	parent := map[geom.Pt]geom.Pt{}
+	// a tree because every node has one predecessor. parent[v] (valid while
+	// pstamp[v] == ep) replaces the old geom.Pt parent map; a tile whose
+	// chain was already traced stops the walk, like the map-presence check
+	// used to.
+	tb := ws.touched[:0]
 	for _, s := range n.Sinks {
-		for v := g.TileIndex(s.Tile); v != srcIdx; v = pred[v] {
-			pv := g.TileAt(v)
-			if _, ok := parent[pv]; ok {
+		for v := g.TileIndex(s.Tile); v != srcIdx; v = int(ws.pred[v]) {
+			if ws.pstamp[v] == ep {
 				break // already traced from here up
 			}
-			parent[pv] = g.TileAt(pred[v])
+			ws.pstamp[v] = ep
+			ws.parent[v] = ws.pred[v]
+			//rabid:allow narrowcast tile indices are < NumTiles <= MaxInt32, enforced by tile.New
+			tb = append(tb, int32(v))
 		}
 	}
-	sinks := make([]geom.Pt, len(n.Sinks))
-	for i, s := range n.Sinks {
-		sinks[i] = s.Tile
+	// Insert in ascending tile-index order: indices are row-major (y*W+x),
+	// so this is exactly the (Y, X) key order rtree.FromParentMap sorts
+	// its map keys into — the node numbering, which downstream
+	// tie-breaking follows, is unchanged.
+	slices.Sort(tb)
+	ws.touched = tb
+
+	rt := ws.takeTree()
+	rt.Tile = append(rt.Tile, src)
+	rt.Parent = append(rt.Parent, -1)
+	ws.nstamp[srcIdx] = ep
+	ws.nodeIdx[srcIdx] = 0
+	stack := ws.stack[:0]
+	for _, v32 := range tb {
+		// Parent-first insertion, iteratively: climb to the nearest already
+		// inserted ancestor, then unwind. Mirrors FromParentMap's recursive
+		// insert; its no-parent/non-adjacent errors cannot fire here because
+		// every chain ends at the source over grid edges.
+		v := int(v32)
+		stack = stack[:0]
+		for ws.nstamp[v] != ep {
+			//rabid:allow narrowcast v round-trips through int32 tile indices (tile.New caps the grid at MaxInt32 tiles)
+			stack = append(stack, int32(v))
+			v = int(ws.parent[v])
+		}
+		pi := int(ws.nodeIdx[v])
+		for x := len(stack) - 1; x >= 0; x-- {
+			u := int(stack[x])
+			ni := len(rt.Tile)
+			rt.Tile = append(rt.Tile, g.TileAt(u))
+			rt.Parent = append(rt.Parent, pi)
+			ws.nstamp[u] = ep
+			//rabid:allow narrowcast node count <= NumTiles <= MaxInt32, enforced by tile.New
+			ws.nodeIdx[u] = int32(ni)
+			pi = ni
+		}
 	}
-	rt, err := rtree.FromParentMap(src, parent, sinks)
-	if err != nil {
-		return nil, fmt.Errorf("route: net %d: %w", n.ID, err)
+	ws.stack = stack
+	for _, s := range n.Sinks {
+		rt.SinkNode = append(rt.SinkNode, int(ws.nodeIdx[g.TileIndex(s.Tile)]))
 	}
-	return rt.Prune(), nil
+	// Pruning is provably a no-op on wavefront traceback output — every
+	// inserted tile lies on some sink-to-source path, so every childless
+	// node carries a sink. Verify the invariant cheaply instead of paying
+	// Prune's rebuild per net; the fallback keeps the contract honest if
+	// the invariant is ever broken.
+	if treeNeedsPrune(rt, ws) {
+		pruned := rt.Prune()
+		ws.Recycle(rt)
+		rt = pruned
+	}
+	return rt, nil
 }
 
-// AddUsage registers one wire per route-tree edge on the graph.
+// treeNeedsPrune reports whether rt has a childless non-root node carrying
+// no sink — the only nodes rtree.Prune removes.
+func treeNeedsPrune(rt *rtree.Tree, ws *Workspace) bool {
+	n := rt.NumNodes()
+	cnt := ws.nodeCnt
+	if cap(cnt) < n {
+		cnt = make([]int32, n)
+	}
+	cnt = cnt[:n]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	ws.nodeCnt = cnt
+	for v := 1; v < n; v++ {
+		cnt[rt.Parent[v]]++
+	}
+	for _, sn := range rt.SinkNode {
+		cnt[sn] = -1 // sink nodes are never prunable
+	}
+	for v := 1; v < n; v++ {
+		if cnt[v] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AddUsage registers one wire per route-tree edge on the graph. Edges are
+// visited in node order (as EdgePairs enumerates them) without
+// materializing the pair list.
 func AddUsage(g *tile.Graph, rt *rtree.Tree) {
-	for _, pq := range rt.EdgePairs() {
-		e, ok := g.EdgeBetween(pq[0], pq[1])
+	for v := 1; v < len(rt.Tile); v++ {
+		a, b := rt.Tile[rt.Parent[v]], rt.Tile[v]
+		e, ok := g.EdgeBetween(a, b)
 		if !ok {
-			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", pq[0], pq[1]))
+			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", a, b))
 		}
 		g.AddWire(e)
 	}
@@ -192,10 +300,11 @@ func AddUsage(g *tile.Graph, rt *rtree.Tree) {
 
 // RemoveUsage removes the route tree's wires from the graph.
 func RemoveUsage(g *tile.Graph, rt *rtree.Tree) {
-	for _, pq := range rt.EdgePairs() {
-		e, ok := g.EdgeBetween(pq[0], pq[1])
+	for v := 1; v < len(rt.Tile); v++ {
+		a, b := rt.Tile[rt.Parent[v]], rt.Tile[v]
+		e, ok := g.EdgeBetween(a, b)
 		if !ok {
-			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", pq[0], pq[1]))
+			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", a, b))
 		}
 		g.RemoveWire(e)
 	}
@@ -206,18 +315,28 @@ func RemoveUsage(g *tile.Graph, rt *rtree.Tree) {
 // routes is updated in place (indexed like nets). With an observer
 // attached it counts reroutes attempted versus improved/degraded (by
 // routed wirelength), the convergence signal of the Nair iteration.
-func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, opt Options) error {
+//
+// Each ripped-up tree is donated to the workspace once its replacement is
+// registered (the pass holds the only reference by contract — callers hand
+// over routes they own), so a warmed workspace reroutes every net without
+// allocating.
+func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, opt Options, ws *Workspace) error {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	reroutes, improved, degraded := 0, 0, 0
 	for _, i := range order {
-		oldEdges := routes[i].NumEdges()
-		RemoveUsage(g, routes[i])
-		rt, err := Reroute(g, nets[i], opt)
+		old := routes[i]
+		oldEdges := old.NumEdges()
+		RemoveUsage(g, old)
+		rt, err := Reroute(g, nets[i], opt, ws)
 		if err != nil {
-			AddUsage(g, routes[i]) // restore before failing
+			AddUsage(g, old) // restore before failing
 			return err
 		}
 		routes[i] = rt
 		AddUsage(g, rt)
+		ws.Recycle(old)
 		reroutes++
 		if n := rt.NumEdges(); n < oldEdges {
 			improved++
@@ -237,8 +356,8 @@ func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order [
 // passes, stopping early once no edge exceeds capacity. It returns the
 // number of passes executed. Each pass is a trace span carrying the
 // post-pass overflow trajectory and a congestion-heat snapshot.
-func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options) (int, error) {
-	return ReduceCongestionCtx(context.Background(), g, nets, routes, order, maxPasses, opt)
+func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options, ws *Workspace) (int, error) {
+	return ReduceCongestionCtx(context.Background(), g, nets, routes, order, maxPasses, opt, ws)
 }
 
 // ReduceCongestionCtx is ReduceCongestion with a cancellation checkpoint at
@@ -246,7 +365,10 @@ func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, 
 // ctx.Err() is returned with the passes completed so far. A pass itself
 // always runs to completion, so the graph's usage accounting is only ever
 // observed at a pass boundary.
-func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options) (int, error) {
+func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options, ws *Workspace) (int, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	passes := 0
 	for passes < maxPasses {
 		if err := ctx.Err(); err != nil {
@@ -259,12 +381,15 @@ func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net
 		popt.Pass = passes + 1
 		t0 := obs.Now(opt.Obs)
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1})
-		err := RipupPass(g, nets, routes, order, popt)
+		err := RipupPass(g, nets, routes, order, popt, ws)
 		if opt.Obs != nil {
-			ws := g.WireCongestion()
-			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "ripup.overflow", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Value: float64(ws.Overflow)})
-			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "ripup.wire_max", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Value: ws.Max})
-			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindHeat, Scope: "heat.wire", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Vals: wireHeat(g)})
+			wst := g.WireCongestion()
+			// The heat snapshot reuses the workspace buffer across passes;
+			// observers must not retain Event.Vals (see obs.Event).
+			ws.heat = wireHeat(g, ws.heat)
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "ripup.overflow", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Value: float64(wst.Overflow)})
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "ripup.wire_max", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Value: wst.Max})
+			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindHeat, Scope: "heat.wire", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Vals: ws.heat})
 			obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanEnd, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1, Dur: obs.Since(opt.Obs, t0)})
 		}
 		if err != nil {
@@ -279,21 +404,37 @@ func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net
 }
 
 // wireHeat is the per-tile congestion field emitted with heat snapshots:
-// each tile's maximum incident w(e)/W(e).
-func wireHeat(g *tile.Graph) []float64 {
-	heat := make([]float64, g.NumTiles())
-	var nbuf []geom.Pt
+// each tile's maximum incident w(e)/W(e). The result is written into heat
+// (grown as needed) and returned, so a caller-held buffer is reused across
+// pass snapshots instead of allocating NumTiles floats per pass.
+func wireHeat(g *tile.Graph, heat []float64) []float64 {
+	nt := g.NumTiles()
+	if cap(heat) < nt {
+		heat = make([]float64, nt)
+	}
+	heat = heat[:nt]
 	for v := range heat {
-		pv := g.TileAt(v)
-		nbuf = g.Neighbors(pv, nbuf[:0])
-		for _, pw := range nbuf {
-			e, _ := g.EdgeBetween(pv, pw)
-			if c := float64(g.Usage(e)) / float64(g.Capacity(e)); c > heat[v] {
-				heat[v] = c
+		h := 0.0
+		_, edges := g.Adjacency(v)
+		for _, e32 := range edges {
+			e := int(e32)
+			if c := float64(g.Usage(e)) / float64(g.Capacity(e)); c > h {
+				h = c
 			}
 		}
+		heat[v] = h
 	}
 	return heat
+}
+
+// siteCostClamped is the Eq. (2) site cost with the router's overflow
+// clamp applied.
+func siteCostClamped(g *tile.Graph, v int, opt Options) float64 {
+	c := g.SiteCost(v)
+	if c > opt.OverflowPenalty {
+		c = opt.OverflowPenalty
+	}
+	return c
 }
 
 // BufferAwarePath finds the cheapest tail-to-head reconnection for a ripped
@@ -301,9 +442,17 @@ func wireHeat(g *tile.Graph) []float64 {
 // state is (tile, j) where j is the tile distance since the last buffer
 // (bounded by L-1, as in the Stage-3 cost arrays); moving to a tile either
 // advances j or places a buffer there (adding the Eq. (2) site cost) and
-// resets j. blocked tiles (the rest of the net's tree) are not entered.
-// The returned path runs from head to tail inclusive.
-func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.Pt]bool, opt Options) ([]geom.Pt, error) {
+// resets j. blocked tiles (the rest of the net's tree, as a per-tile-index
+// mask; nil blocks nothing) are not entered. The returned path runs from
+// head to tail inclusive.
+//
+// ws supplies the reusable (tile, j) state arrays; nil is allowed. The
+// returned path aliases the workspace's traceback buffer and is valid only
+// until the workspace's next use — callers that keep paths must copy.
+func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked []bool, opt Options, ws *Workspace) ([]geom.Pt, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	if L < 1 {
 		return nil, fmt.Errorf("route: length constraint %d < 1", L)
 	}
@@ -318,88 +467,97 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked map[geom.
 		return nil, fmt.Errorf("route: DP state space %d tiles x L=%d = %d exceeds %d states",
 			nt, L, int64(nt)*int64(L), int64(math.MaxInt32))
 	}
-	size := nt * L
-	dist := make([]float64, size)
-	pred := make([]int32, size)
-	done := make([]bool, size)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		pred[i] = -1
-	}
-	siteCost := func(v int) float64 {
-		c := g.SiteCost(v)
-		if c > opt.OverflowPenalty {
-			c = opt.OverflowPenalty
-		}
-		return c
-	}
-	state := func(v, j int) int { return v*L + j }
-	start := state(g.TileIndex(tail), 0)
-	dist[start] = 0
-	q := pq{{start, 0}}
+	ws.begin(g.NumEdges())
+	ws.growStates(nt * L)
+	ep := ws.epoch
+	start := g.TileIndex(tail) * L // state (tail, 0)
+	ws.sStamp[start] = ep
+	ws.sDist[start] = 0
+	ws.sPred[start] = -1
+	ws.sDone[start] = false
+	ws.pushPQ(pqItem{start, 0})
 	headIdx := g.TileIndex(head)
-	var nbuf []geom.Pt
 	goal := -1
-	pops, pushes := 0, 1
-	for len(q) > 0 {
-		it := heap.Pop(&q).(pqItem)
-		pops++
+	memo := opt.Weight == nil
+	tally := opt.Obs != nil
+	pops, pushes := 0, 0
+	if tally {
+		pushes = 1
+	}
+	for len(ws.q) > 0 {
+		it := ws.popPQ()
+		if tally {
+			pops++
+		}
 		s := it.node
-		if done[s] {
+		if ws.sDone[s] {
 			continue
 		}
-		done[s] = true
+		ws.sDone[s] = true
 		v, j := s/L, s%L
 		if v == headIdx {
 			goal = s
 			break
 		}
-		pv := g.TileAt(v)
-		nbuf = g.Neighbors(pv, nbuf[:0])
-		for _, pw := range nbuf {
-			if blocked[pw] && pw != head {
+		ds := ws.sDist[s]
+		nbrs, edges := g.Adjacency(v)
+		for x, w32 := range nbrs {
+			w := int(w32)
+			if blocked != nil && blocked[w] && w != headIdx {
 				continue
 			}
-			w := g.TileIndex(pw)
-			e, _ := g.EdgeBetween(pv, pw)
-			wc := edgeCost(g, e, opt)
+			wc := ws.edgeCostMemo(g, int(edges[x]), opt, memo)
 			// Advance without buffering.
 			if j+1 < L {
-				ns := state(w, j+1)
-				if nd := dist[s] + wc; nd < dist[ns] {
-					dist[ns] = nd
+				ns := w*L + j + 1
+				if ws.sStamp[ns] != ep {
+					ws.sStamp[ns] = ep
+					ws.sDist[ns] = math.Inf(1)
+					ws.sDone[ns] = false
+				}
+				if nd := ds + wc; nd < ws.sDist[ns] {
+					ws.sDist[ns] = nd
 					//rabid:allow narrowcast s < nt*L, guarded against MaxInt32 at function entry
-					pred[ns] = int32(s)
-					heap.Push(&q, pqItem{ns, nd})
-					pushes++
+					ws.sPred[ns] = int32(s)
+					ws.pushPQ(pqItem{ns, nd})
+					if tally {
+						pushes++
+					}
 				}
 			}
 			// Buffer at the new tile.
-			ns := state(w, 0)
-			if nd := dist[s] + wc + siteCost(w); nd < dist[ns] {
-				dist[ns] = nd
+			ns := w * L
+			if ws.sStamp[ns] != ep {
+				ws.sStamp[ns] = ep
+				ws.sDist[ns] = math.Inf(1)
+				ws.sDone[ns] = false
+			}
+			if nd := ds + wc + siteCostClamped(g, w, opt); nd < ws.sDist[ns] {
+				ws.sDist[ns] = nd
 				//rabid:allow narrowcast s < nt*L, guarded against MaxInt32 at function entry
-				pred[ns] = int32(s)
-				heap.Push(&q, pqItem{ns, nd})
-				pushes++
+				ws.sPred[ns] = int32(s)
+				ws.pushPQ(pqItem{ns, nd})
+				if tally {
+					pushes++
+				}
 			}
 		}
 	}
-	if opt.Obs != nil {
+	if tally {
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.bap.pops", Stage: opt.Stage, Net: -1, Value: float64(pops)})
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.bap.pushes", Stage: opt.Stage, Net: -1, Value: float64(pushes)})
 	}
 	if goal < 0 {
 		return nil, fmt.Errorf("route: no reconnection from %v to %v", tail, head)
 	}
-	var rev []geom.Pt
-	for s := goal; s != -1; s = int(pred[s]) {
-		v := s / L
-		pv := g.TileAt(v)
+	rev := ws.path[:0]
+	for s := goal; s != -1; s = int(ws.sPred[s]) {
+		pv := g.TileAt(s / L)
 		if len(rev) == 0 || rev[len(rev)-1] != pv {
 			rev = append(rev, pv)
 		}
 	}
+	ws.path = rev
 	// rev is head..tail already (we traced from the head state back).
 	return rev, nil
 }

@@ -35,7 +35,7 @@ func grid(t *testing.T, w, h, cap int) *tile.Graph {
 func TestRerouteStraightLine(t *testing.T) {
 	g := grid(t, 10, 1, 4)
 	n := mkNet(0, geom.Pt{X: 0, Y: 0}, geom.Pt{X: 9, Y: 0})
-	rt, err := Reroute(g, n, DefaultOptions())
+	rt, err := Reroute(g, n, DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestRerouteAvoidsCongestion(t *testing.T) {
 		g.AddWire(e)
 	}
 	n := mkNet(0, geom.Pt{X: 0, Y: 1}, geom.Pt{X: 4, Y: 1})
-	rt, err := Reroute(g, n, DefaultOptions())
+	rt, err := Reroute(g, n, DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestRerouteAvoidsCongestion(t *testing.T) {
 func TestRerouteMultiSinkSharing(t *testing.T) {
 	g := grid(t, 10, 10, 8)
 	n := mkNet(0, geom.Pt{X: 0, Y: 0}, geom.Pt{X: 9, Y: 0}, geom.Pt{X: 9, Y: 1})
-	rt, err := Reroute(g, n, DefaultOptions())
+	rt, err := Reroute(g, n, DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +97,11 @@ func TestRerouteMultiSinkSharing(t *testing.T) {
 func TestRerouteErrors(t *testing.T) {
 	g := grid(t, 5, 5, 2)
 	n := mkNet(0, geom.Pt{X: 9, Y: 9}, geom.Pt{X: 0, Y: 0})
-	if _, err := Reroute(g, n, DefaultOptions()); err == nil {
+	if _, err := Reroute(g, n, DefaultOptions(), nil); err == nil {
 		t.Error("out-of-grid source accepted")
 	}
 	n = mkNet(0, geom.Pt{X: 0, Y: 0}, geom.Pt{X: 9, Y: 9})
-	if _, err := Reroute(g, n, DefaultOptions()); err == nil {
+	if _, err := Reroute(g, n, DefaultOptions(), nil); err == nil {
 		t.Error("out-of-grid sink accepted")
 	}
 }
@@ -109,7 +109,7 @@ func TestRerouteErrors(t *testing.T) {
 func TestAddRemoveUsageConserves(t *testing.T) {
 	g := grid(t, 8, 8, 4)
 	n := mkNet(0, geom.Pt{X: 1, Y: 1}, geom.Pt{X: 6, Y: 6}, geom.Pt{X: 1, Y: 6})
-	rt, err := Reroute(g, n, DefaultOptions())
+	rt, err := Reroute(g, n, DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestRipupPassKeepsAccountingConsistent(t *testing.T) {
 	routes := make([]*rtree.Tree, len(nets))
 	order := make([]int, len(nets))
 	for i := range nets {
-		rt, err := Reroute(g, nets[i], DefaultOptions())
+		rt, err := Reroute(g, nets[i], DefaultOptions(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +148,7 @@ func TestRipupPassKeepsAccountingConsistent(t *testing.T) {
 		AddUsage(g, rt)
 		order[i] = i
 	}
-	if err := RipupPass(g, nets, routes, order, DefaultOptions()); err != nil {
+	if err := RipupPass(g, nets, routes, order, DefaultOptions(), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Total registered wires must equal total route edges.
@@ -191,7 +191,7 @@ func TestReduceCongestionEliminatesOverflow(t *testing.T) {
 	if g.WireCongestion().Overflow == 0 {
 		t.Fatal("test setup should overflow")
 	}
-	passes, err := ReduceCongestion(g, nets, routes, order, 3, DefaultOptions())
+	passes, err := ReduceCongestion(g, nets, routes, order, 3, DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestBufferAwarePathStraight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path, err := BufferAwarePath(g, geom.Pt{X: 9, Y: 5}, geom.Pt{X: 0, Y: 5}, 4, nil, DefaultOptions())
+	path, err := BufferAwarePath(g, geom.Pt{X: 9, Y: 5}, geom.Pt{X: 0, Y: 5}, 4, nil, DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestBufferAwarePathAvoidsSitelessCorridor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path, err := BufferAwarePath(g, geom.Pt{X: 11, Y: 0}, geom.Pt{X: 0, Y: 0}, 2, nil, DefaultOptions())
+	path, err := BufferAwarePath(g, geom.Pt{X: 11, Y: 0}, geom.Pt{X: 0, Y: 0}, 2, nil, DefaultOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,26 +260,26 @@ func TestBufferAwarePathAvoidsSitelessCorridor(t *testing.T) {
 
 func TestBufferAwarePathRespectsBlocked(t *testing.T) {
 	g := grid(t, 6, 3, 10)
-	blocked := map[geom.Pt]bool{}
+	blocked := make([]bool, g.NumTiles())
 	for x := 0; x < 6; x++ {
-		blocked[geom.Pt{X: x, Y: 1}] = true // wall across the middle
+		blocked[g.TileIndex(geom.Pt{X: x, Y: 1})] = true // wall across the middle
 	}
 	// Tail below the wall, head above: impossible without entering blocked.
-	if _, err := BufferAwarePath(g, geom.Pt{X: 3, Y: 0}, geom.Pt{X: 3, Y: 2}, 3, blocked, DefaultOptions()); err == nil {
+	if _, err := BufferAwarePath(g, geom.Pt{X: 3, Y: 0}, geom.Pt{X: 3, Y: 2}, 3, blocked, DefaultOptions(), nil); err == nil {
 		t.Error("blocked wall should make head unreachable")
 	}
 	// Head on the wall itself is allowed (endpoint exemption).
-	if _, err := BufferAwarePath(g, geom.Pt{X: 3, Y: 0}, geom.Pt{X: 3, Y: 1}, 3, blocked, DefaultOptions()); err != nil {
+	if _, err := BufferAwarePath(g, geom.Pt{X: 3, Y: 0}, geom.Pt{X: 3, Y: 1}, 3, blocked, DefaultOptions(), nil); err != nil {
 		t.Errorf("head exemption failed: %v", err)
 	}
 }
 
 func TestBufferAwarePathBadArgs(t *testing.T) {
 	g := grid(t, 4, 4, 2)
-	if _, err := BufferAwarePath(g, geom.Pt{}, geom.Pt{X: 3}, 0, nil, DefaultOptions()); err == nil {
+	if _, err := BufferAwarePath(g, geom.Pt{}, geom.Pt{X: 3}, 0, nil, DefaultOptions(), nil); err == nil {
 		t.Error("L=0 accepted")
 	}
-	if _, err := BufferAwarePath(g, geom.Pt{X: 9, Y: 9}, geom.Pt{}, 2, nil, DefaultOptions()); err == nil {
+	if _, err := BufferAwarePath(g, geom.Pt{X: 9, Y: 9}, geom.Pt{}, 2, nil, DefaultOptions(), nil); err == nil {
 		t.Error("off-grid tail accepted")
 	}
 }
@@ -296,11 +296,11 @@ func TestBufferAwarePathStateOverflowGuard(t *testing.T) {
 	if int64(4)*int64(overL) != int64(math.MaxInt32)+1 {
 		t.Fatalf("bad boundary arithmetic: 4*%d", overL)
 	}
-	if _, err := BufferAwarePath(g, geom.Pt{}, geom.Pt{X: 1}, overL, nil, DefaultOptions()); err == nil {
+	if _, err := BufferAwarePath(g, geom.Pt{}, geom.Pt{X: 1}, overL, nil, DefaultOptions(), nil); err == nil {
 		t.Fatal("state space of MaxInt32+1 accepted; int32 predecessors would overflow")
 	}
 	// A two-path under the same options but a sane L still routes.
-	path, err := BufferAwarePath(g, geom.Pt{}, geom.Pt{X: 1}, 4, nil, DefaultOptions())
+	path, err := BufferAwarePath(g, geom.Pt{}, geom.Pt{X: 1}, 4, nil, DefaultOptions(), nil)
 	if err != nil {
 		t.Fatalf("sane L rejected: %v", err)
 	}
@@ -327,7 +327,7 @@ func TestRerouteAlwaysConnectsProperty(t *testing.T) {
 			sinks[i] = geom.Pt{X: r.Intn(w), Y: r.Intn(h)}
 		}
 		n := mkNet(0, geom.Pt{X: r.Intn(w), Y: r.Intn(h)}, sinks...)
-		rt, err := Reroute(g, n, DefaultOptions())
+		rt, err := Reroute(g, n, DefaultOptions(), nil)
 		if err != nil {
 			return false
 		}

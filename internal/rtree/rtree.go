@@ -82,6 +82,16 @@ func FromParentMap(source geom.Pt, parent map[geom.Pt]geom.Pt, sinks []geom.Pt) 
 	return t, nil
 }
 
+// Reset empties the tree in place, keeping the slice capacity, so its
+// storage can back a new route (see route.Workspace.Recycle). The cached
+// child adjacency is dropped — it would describe the old shape.
+func (t *Tree) Reset() {
+	t.Tile = t.Tile[:0]
+	t.Parent = t.Parent[:0]
+	t.SinkNode = t.SinkNode[:0]
+	t.children = nil
+}
+
 // NumNodes returns the number of tiles spanned by the route.
 func (t *Tree) NumNodes() int { return len(t.Tile) }
 

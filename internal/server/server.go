@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/route"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -81,6 +82,11 @@ type Server struct {
 
 	sem    chan struct{} // one token per running core job
 	queued atomic.Int64  // running + waiting admissions
+
+	// pool recycles router workspaces across requests so steady-state
+	// plans route without re-growing scratch arrays. Purely mechanism:
+	// invisible to cache keys and response bytes.
+	pool *route.Pool
 }
 
 // New builds a Server, applying Config defaults.
@@ -111,6 +117,7 @@ func New(cfg Config) *Server {
 		cache:   cache.New(cfg.CacheEntries, cfg.Metrics),
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, cfg.MaxInflight),
+		pool:    route.NewPool(),
 	}
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/bbp", s.handleBBP)
@@ -241,6 +248,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	req.Params.apply(&p)
 	p.Workers = s.cfg.Workers
 	p.Observer = s.metrics
+	p.WorkspacePool = s.pool
 	key, err := cache.PlanKey(c, p)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)

@@ -114,6 +114,44 @@ func TestPlanEndToEnd(t *testing.T) {
 	}
 }
 
+// TestWarmPoolByteIdentity: the server's route.Workspace pool must be
+// invisible in response bytes. A server whose pooled workspaces have been
+// dirtied by earlier plans (different circuits, different grids) must
+// produce, for a new circuit, exactly the bytes a fresh server produces
+// for that circuit as its first-ever request. This pins the workspace
+// recycling path (epoch stamping, tree free list, grown scratch arrays)
+// to the cache's soundness claim.
+func TestWarmPoolByteIdentity(t *testing.T) {
+	target := planBody(t, testCircuit(t, 9), "")
+
+	warm := httptest.NewServer(New(Config{}).Handler())
+	defer warm.Close()
+	// Dirty the pool with two unrelated plans first.
+	for _, seed := range []int64{7, 8} {
+		resp, b := postJSON(t, warm.URL+"/v1/plan", planBody(t, testCircuit(t, seed), ""))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm-up seed %d: status %d, body %s", seed, resp.StatusCode, b)
+		}
+	}
+	respW, bodyWarm := postJSON(t, warm.URL+"/v1/plan", target)
+	if respW.StatusCode != http.StatusOK {
+		t.Fatalf("warm server: status %d, body %s", respW.StatusCode, bodyWarm)
+	}
+	if respW.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("warm server target request was not a fresh compute")
+	}
+
+	fresh := httptest.NewServer(New(Config{}).Handler())
+	defer fresh.Close()
+	respF, bodyFresh := postJSON(t, fresh.URL+"/v1/plan", target)
+	if respF.StatusCode != http.StatusOK {
+		t.Fatalf("fresh server: status %d, body %s", respF.StatusCode, bodyFresh)
+	}
+	if !bytes.Equal(bodyWarm, bodyFresh) {
+		t.Error("dirty-pool compute differs from fresh-server compute: workspace state leaked into results")
+	}
+}
+
 // TestCrossServerByteIdentity: two independent servers given the same
 // request produce byte-identical bodies — the response really is a pure
 // function of the request, not of server state.
@@ -136,11 +174,24 @@ func TestCrossServerByteIdentity(t *testing.T) {
 
 // TestPlanDeadline: a 1ms deadline expires long before the run completes;
 // the request comes back promptly as 504, and the failure is not cached —
-// a follow-up with a sane deadline succeeds.
+// a follow-up with a sane deadline succeeds. The circuit is deliberately
+// larger than testCircuit's: the deadline is only *observed* at a core
+// cancellation checkpoint after the runtime delivers the timer, so a
+// compute much longer than the scheduler's preemption granularity is
+// needed to make the 504 deterministic rather than a race against a
+// small plan finishing first.
 func TestPlanDeadline(t *testing.T) {
+	spec, err := floorplan.BySuiteName("apte")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := floorplan.Generate(spec, floorplan.Options{Seed: 1, GridW: 20, GridH: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()
-	body := planBody(t, testCircuit(t, 1), `,"timeout_ms":1`)
+	body := planBody(t, c, `,"timeout_ms":1`)
 	start := time.Now()
 	resp, b := postJSON(t, ts.URL+"/v1/plan", body)
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
@@ -149,7 +200,9 @@ func TestPlanDeadline(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, body %s, want 504", resp.StatusCode, b)
 	}
-	resp2, b2 := postJSON(t, ts.URL+"/v1/plan", planBody(t, testCircuit(t, 1), ""))
+	// Same circuit, sane deadline: if the 504 had been cached, this would
+	// serve the failure instead of computing.
+	resp2, b2 := postJSON(t, ts.URL+"/v1/plan", planBody(t, c, ""))
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("retry after timeout: status %d, body %s", resp2.StatusCode, b2)
 	}

@@ -1,0 +1,85 @@
+package tile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestAdjacencyMatchesNeighbors cross-checks the flat adjacency tables
+// against the geometric API they were compiled from: for every tile, the
+// (neighbor, edge) pairs from Adjacency must list exactly Neighbors(p) in
+// the same order, with each edge index agreeing with EdgeBetween. The router
+// kernel iterates only the tables, so this is the bridge proof that keeps
+// its relaxation order identical to the map-based kernel it replaced.
+func TestAdjacencyMatchesNeighbors(t *testing.T) {
+	for _, dim := range []struct{ w, h int }{{1, 1}, {1, 7}, {7, 1}, {4, 4}, {5, 3}, {16, 9}} {
+		g := mustNew(t, dim.w, dim.h, nil, 1)
+		var buf []geom.Pt
+		for v := 0; v < g.NumTiles(); v++ {
+			p := g.TileAt(v)
+			buf = g.Neighbors(p, buf[:0])
+			nbrs, edges := g.Adjacency(v)
+			if len(nbrs) != len(buf) || len(edges) != len(buf) {
+				t.Fatalf("%dx%d tile %v: adjacency degree %d/%d, Neighbors %d",
+					dim.w, dim.h, p, len(nbrs), len(edges), len(buf))
+			}
+			for i, q := range buf {
+				if got := g.TileAt(int(nbrs[i])); got != q {
+					t.Errorf("%dx%d tile %v nbr %d: adjacency %v, Neighbors %v",
+						dim.w, dim.h, p, i, got, q)
+				}
+				e, ok := g.EdgeBetween(p, q)
+				if !ok {
+					t.Fatalf("%dx%d: EdgeBetween(%v,%v) not found", dim.w, dim.h, p, q)
+				}
+				if int(edges[i]) != e {
+					t.Errorf("%dx%d tile %v nbr %v: adjacency edge %d, EdgeBetween %d",
+						dim.w, dim.h, p, q, edges[i], e)
+				}
+			}
+		}
+	}
+}
+
+// TestAdjacencySlicesAreReadOnlyViews: Adjacency returns full-capacity
+// slices of the shared tables; appending must not clobber a neighbor's row.
+func TestAdjacencySlicesAreReadOnlyViews(t *testing.T) {
+	g := mustNew(t, 3, 3, nil, 1)
+	nbrs, _ := g.Adjacency(0) // corner: degree 2, rows are 4 wide
+	_ = append(nbrs, 99)      // must reallocate, not write into tile 1's row
+	n1, _ := g.Adjacency(1)
+	for i, v := range n1 {
+		if v == 99 {
+			t.Fatalf("append through Adjacency slice corrupted tile 1 row at %d", i)
+		}
+	}
+}
+
+// TestCloneSharesAdjacency: the tables depend only on grid dimensions, so
+// Clone must alias them rather than rebuild (and must still agree).
+func TestCloneSharesAdjacency(t *testing.T) {
+	g := mustNew(t, 6, 4, nil, 2)
+	c := g.Clone()
+	for v := 0; v < g.NumTiles(); v++ {
+		gn, ge := g.Adjacency(v)
+		cn, ce := c.Adjacency(v)
+		if len(gn) != len(cn) {
+			t.Fatalf("tile %d: clone degree %d != %d", v, len(cn), len(gn))
+		}
+		for i := range gn {
+			if gn[i] != cn[i] || ge[i] != ce[i] {
+				t.Fatalf("tile %d entry %d: clone adjacency diverges", v, i)
+			}
+		}
+	}
+}
+
+// TestNewRejectsOverflowGrid: the int32 adjacency tables require the tile
+// count to fit in int32; New must refuse anything larger up front.
+func TestNewRejectsOverflowGrid(t *testing.T) {
+	if _, err := New(math.MaxInt32, 2, nil, 1); err == nil {
+		t.Fatal("New accepted a grid with more than MaxInt32 tiles")
+	}
+}

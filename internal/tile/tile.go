@@ -25,6 +25,16 @@ type Graph struct {
 	sites []int     // per-tile buffer sites B(v)
 	used  []int     // per-tile used buffer sites b(v)
 	prob  []float64 // per-tile demand p(v) from unprocessed nets
+
+	// Flat adjacency tables, precomputed once in New and shared (read-only)
+	// by Clone: row v of the stride-4 arrays holds tile v's grid neighbors
+	// and the joining edge indices, in the same +x, -x, +y, -y order as
+	// Neighbors, -1 padded past adjDeg[v] entries. The router's wavefront
+	// iterates these int32 rows instead of round-tripping geom.Pt values
+	// through InGrid/EdgeBetween per relaxation.
+	adjNbr  []int32
+	adjEdge []int32
+	adjDeg  []uint8
 }
 
 // New creates a graph with the given dimensions, per-tile buffer sites
@@ -35,6 +45,12 @@ func New(w, h int, sites []int, capacity int) (*Graph, error) {
 	}
 	if capacity < 1 {
 		return nil, fmt.Errorf("tile: capacity %d must be >= 1", capacity)
+	}
+	// Tile and edge indices travel through int32 adjacency tables and
+	// router predecessor labels; a grid this large could not be allocated
+	// anyway, so reject it before any index can wrap.
+	if int64(w)*int64(h) > math.MaxInt32 {
+		return nil, fmt.Errorf("tile: grid %dx%d exceeds %d tiles", w, h, int64(math.MaxInt32))
 	}
 	n := w * h
 	if sites == nil {
@@ -55,7 +71,48 @@ func New(w, h int, sites []int, capacity int) (*Graph, error) {
 	for i := range g.cap {
 		g.cap[i] = capacity
 	}
+	g.buildAdjacency()
 	return g, nil
+}
+
+// buildAdjacency fills the flat neighbor/edge tables. Neighbor order per
+// tile matches Neighbors exactly (+x, -x, +y, -y, out-of-grid skipped) so
+// index-based wavefront relaxation visits edges in the identical order.
+func (g *Graph) buildAdjacency() {
+	n := g.W * g.H
+	g.adjNbr = make([]int32, 4*n)
+	g.adjEdge = make([]int32, 4*n)
+	g.adjDeg = make([]uint8, n)
+	for i := range g.adjNbr {
+		g.adjNbr[i] = -1
+		g.adjEdge[i] = -1
+	}
+	var nbuf []geom.Pt
+	for v := 0; v < n; v++ {
+		pv := g.TileAt(v)
+		nbuf = g.Neighbors(pv, nbuf[:0])
+		for k, pw := range nbuf {
+			e, ok := g.EdgeBetween(pv, pw)
+			if !ok {
+				panic(fmt.Sprintf("tile: neighbor %v of %v has no edge", pw, pv))
+			}
+			//rabid:allow narrowcast tile and edge indices are < NumTiles <= MaxInt32, enforced in New
+			g.adjNbr[4*v+k] = int32(g.TileIndex(pw))
+			//rabid:allow narrowcast tile and edge indices are < NumTiles <= MaxInt32, enforced in New
+			g.adjEdge[4*v+k] = int32(e)
+		}
+		//rabid:allow narrowcast at most 4 grid neighbors
+		g.adjDeg[v] = uint8(len(nbuf))
+	}
+}
+
+// Adjacency returns tile v's grid neighbors and the joining edge indices as
+// parallel int32 slices in Neighbors order. The slices alias the graph's
+// precomputed tables and must not be modified.
+func (g *Graph) Adjacency(v int) (nbrs, edges []int32) {
+	lo := 4 * v
+	hi := lo + int(g.adjDeg[v])
+	return g.adjNbr[lo:hi:hi], g.adjEdge[lo:hi:hi]
 }
 
 func numEdges(w, h int) int { return (w-1)*h + w*(h-1) }
@@ -279,16 +336,20 @@ func (g *Graph) ResetBuffers() {
 	}
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The adjacency tables depend only
+// on the immutable dimensions and are shared, not copied.
 func (g *Graph) Clone() *Graph {
 	return &Graph{
-		W:     g.W,
-		H:     g.H,
-		cap:   append([]int(nil), g.cap...),
-		use:   append([]int(nil), g.use...),
-		sites: append([]int(nil), g.sites...),
-		used:  append([]int(nil), g.used...),
-		prob:  append([]float64(nil), g.prob...),
+		W:       g.W,
+		H:       g.H,
+		cap:     append([]int(nil), g.cap...),
+		use:     append([]int(nil), g.use...),
+		sites:   append([]int(nil), g.sites...),
+		used:    append([]int(nil), g.used...),
+		prob:    append([]float64(nil), g.prob...),
+		adjNbr:  g.adjNbr,
+		adjEdge: g.adjEdge,
+		adjDeg:  g.adjDeg,
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/mcf"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/route"
 	"repro/internal/server"
 	"repro/internal/siteplan"
 	"repro/internal/slew"
@@ -115,6 +116,16 @@ func Default018() Tech { return tech.Default018() }
 
 // Run executes the four-stage RABID heuristic on a circuit.
 func Run(c *Circuit, p Params) (*Result, error) { return core.Run(c, p) }
+
+// RouteWorkspacePool recycles the router's scratch workspaces across runs.
+// A long-lived embedder sets Params.WorkspacePool to one pool so repeated
+// Run calls reuse the warmed wavefront arrays instead of re-growing them
+// (the planning server does this per process). Purely a memory-reuse
+// mechanism: results and cache keys are identical with or without it.
+type RouteWorkspacePool = route.Pool
+
+// NewRouteWorkspacePool returns an empty workspace pool.
+func NewRouteWorkspacePool() *RouteWorkspacePool { return route.NewPool() }
 
 // RunContext is Run with cooperative cancellation: the pipeline checks ctx
 // at stage boundaries, rip-up-pass boundaries, and per-net dispatch, so an

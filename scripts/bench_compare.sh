@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Router hot-path benchmark runner (CI's bench-smoke job; runnable locally
+# from the repo root). Stdlib-only: go test + cmd/benchjson, no external
+# benchstat.
+#
+#   1. run the route microbenchmarks (Reroute / RipupPass / BufferAwarePath)
+#      and the end-to-end BenchmarkRunSuite,
+#   2. convert the text output to JSON with cmd/benchjson,
+#   3. if a baseline exists, print an old-vs-new delta table.
+#
+# Usage:
+#   scripts/bench_compare.sh                 # write BENCH_route.new.json, compare
+#   scripts/bench_compare.sh -update        # refresh the checked-in baseline
+#   BENCHTIME=0.2s scripts/bench_compare.sh # shorter timed run (CI)
+#
+# The comparison is a report, not a gate: wall-clock deltas on shared
+# runners are noise. The allocation contracts are gated by tests
+# (internal/route/alloc_test.go), which `go test ./...` already runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline=BENCH_route.json
+benchtime=${BENCHTIME:-1s}
+suite_benchtime=${SUITE_BENCHTIME:-1x}
+update=0
+[ "${1:-}" = "-update" ] && update=1
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/benchjson" ./cmd/benchjson
+
+echo "== route microbenchmarks (benchtime=$benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkReroute$|BenchmarkRipupPass$|BenchmarkBufferAwarePath$' \
+  -benchmem -benchtime "$benchtime" ./internal/route | tee "$workdir/bench.txt" >&2
+
+echo "== end-to-end suite benchmark (benchtime=$suite_benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkRunSuite$' \
+  -benchmem -benchtime "$suite_benchtime" -timeout 20m . | tee -a "$workdir/bench.txt" >&2
+
+if [ "$update" = 1 ]; then
+  "$workdir/benchjson" -o "$baseline" < "$workdir/bench.txt"
+  echo "baseline refreshed: $baseline" >&2
+  exit 0
+fi
+
+new=BENCH_route.new.json
+"$workdir/benchjson" -o "$new" < "$workdir/bench.txt"
+echo "wrote $new" >&2
+
+if [ -f "$baseline" ]; then
+  "$workdir/benchjson" -compare "$baseline" "$new"
+else
+  echo "no baseline ($baseline) checked in; run with -update to create one" >&2
+fi
