@@ -3,11 +3,14 @@
 // the CI gate of the benchmark-smoke job: the run must have produced one
 // completed span per pipeline stage with a positive, finite duration, and
 // no exported value may be non-finite (the JSON encoder writes NaN/±Inf
-// as null, so a null anywhere is a telemetry bug).
+// as null, so a null anywhere is a telemetry bug). -counters names
+// counters that must additionally be present — the Stage-2 speculation
+// totals, for instance, are emitted even on a zero-pass run, so their
+// absence means the engine was never threaded through.
 //
 // Usage:
 //
-//	metricscheck [-stages 4] metrics.json
+//	metricscheck [-stages 4] [-counters a.1,b.2] metrics.json
 //
 // Exits non-zero with a diagnostic on the first violation.
 package main
@@ -17,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // span mirrors one obs.SpanStats entry; pointers distinguish a null
@@ -45,19 +49,24 @@ type histogram struct {
 
 func main() {
 	stages := flag.Int("stages", 4, "number of pipeline stages that must have completed spans (stage.1..stage.N)")
+	counters := flag.String("counters", "", "comma-separated counter keys that must be present (and finite)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck [-stages N] metrics.json")
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-stages N] [-counters a.1,b.2] metrics.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *stages); err != nil {
+	var required []string
+	if *counters != "" {
+		required = strings.Split(*counters, ",")
+	}
+	if err := check(flag.Arg(0), *stages, required); err != nil {
 		fmt.Fprintln(os.Stderr, "metricscheck:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: ok (%d stage spans, all values finite)\n", flag.Arg(0), *stages)
+	fmt.Printf("%s: ok (%d stage spans, %d required counters, all values finite)\n", flag.Arg(0), *stages, len(required))
 }
 
-func check(path string, stages int) error {
+func check(path string, stages int, required []string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -105,6 +114,19 @@ func check(path string, stages int) error {
 		k := fmt.Sprintf("stage.%d", i)
 		if _, ok := d.Spans[k]; !ok {
 			return fmt.Errorf("no completed span for %s: stage missing from the run", k)
+		}
+	}
+	for _, k := range required {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		v, ok := d.Counters[k]
+		if !ok {
+			return fmt.Errorf("required counter %q missing from the run", k)
+		}
+		if v == nil {
+			return fmt.Errorf("required counter %q is non-finite", k)
 		}
 	}
 	return nil

@@ -84,6 +84,11 @@ func TestObserverMetricsCoverage(t *testing.T) {
 	c := smallCircuit(t, 33, 12, 10, 10, 2, 3)
 	m := obs.NewMetrics()
 	p := DefaultParams()
+	// Pin the edge capacity low enough to overflow: Stage 2 now skips the
+	// rip-up loop entirely on an overflow-free circuit (0 passes), and a
+	// calibrated capacity leaves this small instance uncongested — with no
+	// pass there are no route.pops.2 events to cover.
+	p.Capacity = 1
 	p.Observer = m
 	if _, err := Run(c, p); err != nil {
 		t.Fatal(err)

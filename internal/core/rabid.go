@@ -60,12 +60,15 @@ type Params struct {
 	// multicommodity-flow global router — the alternative the paper names
 	// ("e.g., the multicommodity flow-based approach of [1]").
 	UseMCFRouter bool
-	// Workers bounds the goroutines used for the order-independent per-net
-	// work: Stage-1 Steiner construction, the delay refresh after every
-	// stage, and the per-net snapshot accounting. 0 (the default) means
-	// GOMAXPROCS. Results are bit-identical for every value — workers write
-	// only to their own net's slot and all shared tile-graph mutation stays
-	// sequential (see DESIGN.md, "Parallel execution model").
+	// Workers bounds the goroutines used for the parallel sections: the
+	// order-independent per-net work (Stage-1 Steiner construction, the
+	// delay refresh after every stage, the per-net snapshot accounting)
+	// and the Stage-2 speculative rip-up engine (route.Parallel). 0 (the
+	// default) means GOMAXPROCS. Results are bit-identical for every value
+	// — per-net workers write only to their own net's slot, shared
+	// tile-graph mutation stays sequential, and the speculative engine
+	// commits in net order with conflict replay (see DESIGN.md, "Parallel
+	// execution model" and "Parallel rip-up-and-reroute").
 	Workers int
 	// Observer receives the run's structured telemetry: trace spans,
 	// counters, gauges, and congestion-heat snapshots (see internal/obs).
@@ -154,11 +157,12 @@ type state struct {
 	delays   []float64 // per-net max sink delay, for ordering
 	obs      obs.Observer
 	stage    int // current pipeline stage, stamped on emitted events
-	// ws is the run's router workspace. Routing is sequential by design
-	// (the parallel sections never route — see "Parallel execution model"
-	// in DESIGN.md), so one workspace serves all of Stages 2 and 4; it is
-	// reused across nets and passes and, through Params.WorkspacePool,
-	// across runs.
+	// ws is the run's primary router workspace: it serves the sequential
+	// routing of Stages 2 and 4 — including the Stage-2 commit/replay
+	// section of the speculative engine, whose concurrent workers draw
+	// their own workspaces from Params.WorkspacePool — and is reused
+	// across nets and passes and, through Params.WorkspacePool, across
+	// runs.
 	ws *route.Workspace
 }
 
@@ -357,7 +361,12 @@ func (s *state) stage2() error {
 	order := s.orderByDelay(false) // smallest delay first
 	opt := s.p.RouteOpt
 	opt.Obs, opt.Stage = s.obs, 2
-	if _, err := route.ReduceCongestionCtx(s.ctx, s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, opt, s.ws); err != nil {
+	// The speculative engine is threaded unconditionally: its protocol is
+	// worker-count-independent, so results and event streams match the
+	// sequential kernel bit for bit at every Workers value (the parallel
+	// determinism suite pins this).
+	px := route.NewParallel(s.p.Workers, s.p.WorkspacePool)
+	if _, err := route.ReduceCongestionCtx(s.ctx, s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, opt, s.ws, px); err != nil {
 		return err
 	}
 	return s.refreshDelays()

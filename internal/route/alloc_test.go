@@ -45,12 +45,12 @@ func TestRipupPassAllocBound(t *testing.T) {
 	opt := DefaultOptions()
 	ws := NewWorkspace()
 	for i := 0; i < 2; i++ {
-		if err := RipupPass(g, nets, routes, order, opt, ws); err != nil {
+		if _, err := RipupPass(g, nets, routes, order, opt, ws); err != nil {
 			t.Fatal(err)
 		}
 	}
 	avg := testing.AllocsPerRun(20, func() {
-		if err := RipupPass(g, nets, routes, order, opt, ws); err != nil {
+		if _, err := RipupPass(g, nets, routes, order, opt, ws); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,333 @@
+package route
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/rtree"
+	"repro/internal/tile"
+)
+
+// cloneRoutes deep-copies a routes slice so two kernels can run from the
+// same starting state.
+func cloneRoutes(routes []*rtree.Tree) []*rtree.Tree {
+	out := make([]*rtree.Tree, len(routes))
+	for i, rt := range routes {
+		c := &rtree.Tree{
+			Tile:     append([]geom.Pt(nil), rt.Tile...),
+			Parent:   append([]int(nil), rt.Parent...),
+			SinkNode: append([]int(nil), rt.SinkNode...),
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestParallelPassMatchesSequential is the engine's core contract: on the
+// same starting state, Parallel.Pass and RipupPass produce identical trees,
+// identical graph usage, and identical observer event streams, at every
+// worker count.
+func TestParallelPassMatchesSequential(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Stage = 2
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			gSeq, nets, routesSeq, order := benchWorkload(t)
+			gPar, _, routesPar, _ := benchWorkload(t)
+
+			var seqBuf, parBuf bytes.Buffer
+			seqSink, parSink := obs.NewJSONLines(&seqBuf), obs.NewJSONLines(&parBuf)
+
+			seqOpt := opt
+			seqOpt.Obs = seqSink
+			// Two passes so the second starts from a rip-up-shaped state.
+			for pass := 0; pass < 2; pass++ {
+				if _, err := RipupPass(gSeq, nets, routesSeq, order, seqOpt, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			parOpt := opt
+			parOpt.Obs = parSink
+			px := NewParallel(workers, NewPool())
+			for pass := 0; pass < 2; pass++ {
+				if _, err := px.Pass(gPar, nets, routesPar, order, parOpt, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for i := range routesSeq {
+				if !treesEqual(routesSeq[i], routesPar[i]) {
+					t.Fatalf("net %d: parallel tree differs from sequential", i)
+				}
+			}
+			for e := 0; e < gSeq.NumEdges(); e++ {
+				if gSeq.Usage(e) != gPar.Usage(e) {
+					t.Fatalf("edge %d: usage %d (seq) vs %d (par)", e, gSeq.Usage(e), gPar.Usage(e))
+				}
+			}
+			if !bytes.Equal(seqBuf.Bytes(), parBuf.Bytes()) {
+				t.Fatalf("event streams differ\nseq: %.300s\npar: %.300s", seqBuf.Bytes(), parBuf.Bytes())
+			}
+			if px.stats.speculative == 0 {
+				t.Error("no speculative reroutes recorded")
+			}
+		})
+	}
+}
+
+// TestParallelStatsWorkerIndependent: the speculation counters are part of
+// the observable event stream, so they must not depend on the worker
+// count — the protocol (batching, snapshots, conflicts) is a function of
+// net order and graph state only.
+func TestParallelStatsWorkerIndependent(t *testing.T) {
+	type stats struct{ spec, conf, repl int }
+	var ref stats
+	for k, workers := range []int{1, 3, 7} {
+		g, nets, routes, order := benchWorkload(t)
+		px := NewParallel(workers, nil)
+		for pass := 0; pass < 2; pass++ {
+			if _, err := px.Pass(g, nets, routes, order, DefaultOptions(), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := stats{px.stats.speculative, px.stats.conflicts, px.stats.replayed}
+		if k == 0 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Fatalf("workers=%d: stats %+v differ from workers=1 %+v", workers, got, ref)
+		}
+	}
+}
+
+// TestParallelForcedConflictReplaysInOrder builds a two-net instance where
+// the batch rule cannot separate the nets (disjoint expanded boxes) yet
+// net B's speculative wavefront prices an edge that net A's commit
+// changes: A's hand-built detour straightens on reroute, raising usage on
+// an edge inside B's search ball. B's speculation must be discarded and
+// replayed serially, and the final state must equal the sequential
+// kernel's.
+func TestParallelForcedConflictReplaysInOrder(t *testing.T) {
+	build := func() (*tile.Graph, []*netlist.Net, []*rtree.Tree, []int) {
+		g, err := tile.New(9, 2, make([]int, 18), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pin := func(x, y int) netlist.Pin {
+			return netlist.Pin{Tile: geom.Pt{X: x, Y: y}, Pos: geom.FPt{X: float64(x), Y: float64(y)}}
+		}
+		netA := &netlist.Net{ID: 0, Name: "a", L: 4, Source: pin(0, 1), Sinks: []netlist.Pin{pin(3, 1)}}
+		netB := &netlist.Net{ID: 1, Name: "b", L: 4, Source: pin(5, 1), Sinks: []netlist.Pin{pin(8, 1)}}
+		// Net A starts on a detour through y=0; rerouting straightens it
+		// onto y=1, adding usage on edges net B's speculation read.
+		parentA := map[geom.Pt]geom.Pt{
+			{X: 0, Y: 0}: {X: 0, Y: 1},
+			{X: 1, Y: 0}: {X: 0, Y: 0},
+			{X: 2, Y: 0}: {X: 1, Y: 0},
+			{X: 3, Y: 0}: {X: 2, Y: 0},
+			{X: 3, Y: 1}: {X: 3, Y: 0},
+		}
+		trA, err := rtree.FromParentMap(geom.Pt{X: 0, Y: 1}, parentA, []geom.Pt{{X: 3, Y: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parentB := map[geom.Pt]geom.Pt{
+			{X: 6, Y: 1}: {X: 5, Y: 1},
+			{X: 7, Y: 1}: {X: 6, Y: 1},
+			{X: 8, Y: 1}: {X: 7, Y: 1},
+		}
+		trB, err := rtree.FromParentMap(geom.Pt{X: 5, Y: 1}, parentB, []geom.Pt{{X: 8, Y: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes := []*rtree.Tree{trA, trB}
+		for _, rt := range routes {
+			AddUsage(g, rt)
+		}
+		return g, []*netlist.Net{netA, netB}, routes, []int{0, 1}
+	}
+
+	// Boxes: A spans x 0..3, B spans x 5..8 — expanded by one they still
+	// don't touch, so both nets land in one batch.
+	gp, nets, routesPar, order := build()
+	bA, bB := treeBox(routesPar[0]), treeBox(routesPar[1])
+	if bA.touches(bB) {
+		t.Fatalf("setup: boxes %+v and %+v must be batchable together", bA, bB)
+	}
+
+	px := NewParallel(4, nil)
+	if _, err := px.Pass(gp, nets, routesPar, order, DefaultOptions(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if px.stats.conflicts < 1 || px.stats.replayed < 1 {
+		t.Errorf("stats %+v: expected at least one conflict and one replay", px.stats)
+	}
+
+	gs, _, routesSeq, _ := build()
+	if _, err := RipupPass(gs, nets, routesSeq, order, DefaultOptions(), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range routesSeq {
+		if !treesEqual(routesSeq[i], routesPar[i]) {
+			t.Fatalf("net %d: conflicted parallel pass diverged from sequential", i)
+		}
+	}
+	for e := 0; e < gs.NumEdges(); e++ {
+		if gs.Usage(e) != gp.Usage(e) {
+			t.Fatalf("edge %d: usage %d (seq) vs %d (par)", e, gs.Usage(e), gp.Usage(e))
+		}
+	}
+}
+
+// TestRipupPassPartialFailure pins the committed-prefix error contract:
+// when a reroute fails mid-pass, RipupPass reports how many order entries
+// committed, and the graph's usage accounting still matches the routes
+// slice exactly (the failing net's wires are restored).
+func TestRipupPassPartialFailure(t *testing.T) {
+	g, err := tile.New(6, 6, make([]int, 36), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := func(x, y int) netlist.Pin {
+		return netlist.Pin{Tile: geom.Pt{X: x, Y: y}, Pos: geom.FPt{X: float64(x), Y: float64(y)}}
+	}
+	mk := func(id, sx, sy, tx, ty int) *netlist.Net {
+		return &netlist.Net{ID: id, Name: "n", L: 4, Source: pin(sx, sy), Sinks: []netlist.Pin{pin(tx, ty)}}
+	}
+	nets := []*netlist.Net{mk(0, 0, 0, 3, 3), mk(1, 1, 0, 4, 2), mk(2, 0, 1, 5, 5)}
+	routes := make([]*rtree.Tree, len(nets))
+	order := []int{0, 1, 2}
+	for i, n := range nets {
+		rt, err := Reroute(g, n, DefaultOptions(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes[i] = rt
+		AddUsage(g, rt)
+	}
+	// Sabotage net 1 after its initial route exists: an out-of-grid sink
+	// makes its reroute fail while net 0 has already committed.
+	nets[1].Sinks[0].Tile = geom.Pt{X: 99, Y: 99}
+
+	committed, err := RipupPass(g, nets, routes, order, DefaultOptions(), nil)
+	if err == nil {
+		t.Fatal("expected mid-pass failure")
+	}
+	if committed != 1 {
+		t.Fatalf("committed = %d, want 1 (net 0 only)", committed)
+	}
+	// The accounting invariant: total registered wires equal total route
+	// edges, for the half-updated routes slice.
+	sum := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		sum += g.Usage(e)
+	}
+	want := 0
+	for _, rt := range routes {
+		want += rt.NumEdges()
+	}
+	if sum != want {
+		t.Fatalf("usage %d != route edges %d after partial failure", sum, want)
+	}
+
+	// The parallel engine honors the same contract (net 1's speculation
+	// fails, its serial replay reproduces the sequential error).
+	g2, err := tile.New(6, 6, make([]int, 36), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets[1].Sinks[0].Tile = geom.Pt{X: 4, Y: 2}
+	routes2 := make([]*rtree.Tree, len(nets))
+	for i, n := range nets {
+		rt, err := Reroute(g2, n, DefaultOptions(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes2[i] = rt
+		AddUsage(g2, rt)
+	}
+	nets[1].Sinks[0].Tile = geom.Pt{X: 99, Y: 99}
+	px := NewParallel(2, nil)
+	committed2, err := px.Pass(g2, nets, routes2, order, DefaultOptions(), nil)
+	if err == nil {
+		t.Fatal("expected mid-pass failure from parallel pass")
+	}
+	if committed2 != 1 {
+		t.Fatalf("parallel committed = %d, want 1", committed2)
+	}
+	sum = 0
+	for e := 0; e < g2.NumEdges(); e++ {
+		sum += g2.Usage(e)
+	}
+	want = 0
+	for _, rt := range routes2 {
+		want += rt.NumEdges()
+	}
+	if sum != want {
+		t.Fatalf("parallel usage %d != route edges %d after partial failure", sum, want)
+	}
+}
+
+// TestReduceCongestionZeroOverflowSkipsPass: an overflow-free circuit has
+// nothing for Nair iteration to reduce — Stage 2 must report 0 passes and
+// leave the routes untouched (this pinned the wasted-first-pass fix).
+func TestReduceCongestionZeroOverflowSkipsPass(t *testing.T) {
+	g, err := tile.New(8, 8, make([]int, 64), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := func(x, y int) netlist.Pin {
+		return netlist.Pin{Tile: geom.Pt{X: x, Y: y}, Pos: geom.FPt{X: float64(x), Y: float64(y)}}
+	}
+	n := &netlist.Net{ID: 0, Name: "n", L: 4, Source: pin(0, 0), Sinks: []netlist.Pin{pin(7, 7)}}
+	rt, err := Reroute(g, n, DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := []*rtree.Tree{rt}
+	AddUsage(g, rt)
+	if g.WireCongestion().Overflow != 0 {
+		t.Fatal("setup: expected zero overflow")
+	}
+	before := cloneRoutes(routes)
+	passes, err := ReduceCongestion(g, []*netlist.Net{n}, routes, []int{0}, 3, DefaultOptions(), nil, NewParallel(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 0 {
+		t.Fatalf("passes = %d on an overflow-free circuit, want 0", passes)
+	}
+	if !treesEqual(before[0], routes[0]) {
+		t.Error("routes changed despite zero passes")
+	}
+}
+
+// TestWireHeatZeroCapacity: a blocked (zero-capacity) edge must not plant
+// +Inf/NaN in the per-tile heat snapshot.
+func TestWireHeatZeroCapacity(t *testing.T) {
+	g, err := tile.New(3, 3, make([]int, 9), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := g.EdgeBetween(geom.Pt{X: 0, Y: 0}, geom.Pt{X: 1, Y: 0})
+	if !ok {
+		t.Fatal("missing grid edge")
+	}
+	g.SetCapacity(e, 0)
+	g.AddWire(e) // a wire on a blocked edge: utilization would be 1/0
+	heat := wireHeat(g, nil)
+	for v, h := range heat {
+		if h != h || h > 1e18 { // NaN or absurd
+			t.Fatalf("tile %d heat = %v with a zero-capacity edge", v, h)
+		}
+	}
+	if heat[0] != 1 {
+		t.Errorf("blocked-edge tile heat = %v, want 1 (usage counts as raw wires)", heat[0])
+	}
+}

@@ -79,12 +79,39 @@ func (ws *Workspace) edgeCostMemo(g *tile.Graph, e int, opt Options, memo bool) 
 		if ws.ecStamp[e] == ws.epoch {
 			return ws.ec[e]
 		}
-		c := edgeCost(g, e, opt)
+		var c float64
+		if ws.spec.active {
+			c = ws.specEdgeCost(g, e, opt)
+		} else {
+			c = edgeCost(g, e, opt)
+		}
 		ws.ecStamp[e] = ws.epoch
 		ws.ec[e] = c
 		return c
 	}
 	return edgeCost(g, e, opt)
+}
+
+// specEdgeCost prices edge e for a speculative reroute: the Eq. (1)
+// congestion term is evaluated at the net's effective usage — the shared
+// graph's current usage minus one on the net's own old wires (marked in
+// spec.ownStamp) — so the cost matches what the sequential kernel would
+// see after RemoveUsage, without mutating g. The raw usage read is
+// recorded in the read set; the memoization wrapping this call guarantees
+// exactly one entry per distinct edge, making the read set both complete
+// (every congestion value the search depended on) and duplicate-free.
+func (ws *Workspace) specEdgeCost(g *tile.Graph, e int, opt Options) float64 {
+	u := g.Usage(e)
+	//rabid:allow narrowcast edge indices are < NumEdges <= MaxInt32 (tile.New) and usage is bounded by the net count
+	ws.spec.reads = append(ws.spec.reads, specRead{e: int32(e), use: int32(u)})
+	if ws.spec.ownStamp[e] == ws.epoch {
+		u--
+	}
+	c := g.WireCostAt(e, u)
+	if c > opt.OverflowPenalty {
+		c = opt.OverflowPenalty
+	}
+	return c + opt.LengthWeight
 }
 
 // Reroute computes a fresh route tree for the net on the current congestion
@@ -107,6 +134,12 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.
 	nt := g.NumTiles()
 	ws.begin(g.NumEdges())
 	ws.growTiles(nt)
+	if ws.spec.active {
+		// Speculative reroute: stamp the net's own old wires so
+		// specEdgeCost can price them at usage-1 (the sequential kernel
+		// would have called RemoveUsage before routing).
+		ws.markOwnWires(g)
+	}
 	ep := ws.epoch
 	// Mark the sink tiles still to be reached; remaining counts distinct
 	// marked tiles (the wantStamp epoch check deduplicates co-located
@@ -316,11 +349,21 @@ func RemoveUsage(g *tile.Graph, rt *rtree.Tree) {
 // attached it counts reroutes attempted versus improved/degraded (by
 // routed wirelength), the convergence signal of the Nair iteration.
 //
+// It returns the number of order entries fully committed (old tree
+// replaced, wire usage re-registered). On success that is len(order); when
+// a Reroute fails mid-pass the earlier nets of the pass have already been
+// replaced and their old trees recycled, and the returned count tells the
+// caller exactly which prefix of order committed — routes[order[:committed]]
+// hold the new trees, the remaining entries still hold their pre-pass
+// trees, and the graph's wire usage is consistent with the routes slice in
+// either region (the failing net's own wires are restored before the error
+// returns). TestRipupPassPartialFailure pins this contract.
+//
 // Each ripped-up tree is donated to the workspace once its replacement is
 // registered (the pass holds the only reference by contract — callers hand
 // over routes they own), so a warmed workspace reroutes every net without
 // allocating.
-func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, opt Options, ws *Workspace) error {
+func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, opt Options, ws *Workspace) (committed int, err error) {
 	if ws == nil {
 		ws = NewWorkspace()
 	}
@@ -332,11 +375,13 @@ func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order [
 		rt, err := Reroute(g, nets[i], opt, ws)
 		if err != nil {
 			AddUsage(g, old) // restore before failing
-			return err
+			return committed, fmt.Errorf("route: rip-up pass failed at net %d after %d of %d commits: %w",
+				nets[i].ID, committed, len(order), err)
 		}
 		routes[i] = rt
 		AddUsage(g, rt)
 		ws.Recycle(old)
+		committed++
 		reroutes++
 		if n := rt.NumEdges(); n < oldEdges {
 			improved++
@@ -349,15 +394,24 @@ func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order [
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.improved", Stage: opt.Stage, Pass: opt.Pass, Net: -1, Value: float64(improved)})
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.degraded", Stage: opt.Stage, Pass: opt.Pass, Net: -1, Value: float64(degraded)})
 	}
-	return nil
+	return committed, nil
 }
 
 // ReduceCongestion is Stage 2: up to maxPasses full rip-up-and-reroute
 // passes, stopping early once no edge exceeds capacity. It returns the
-// number of passes executed. Each pass is a trace span carrying the
-// post-pass overflow trajectory and a congestion-heat snapshot.
-func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options, ws *Workspace) (int, error) {
-	return ReduceCongestionCtx(context.Background(), g, nets, routes, order, maxPasses, opt, ws)
+// number of passes executed — 0 when the circuit is already overflow-free
+// at entry (a zero-overflow circuit has nothing for Nair iteration to
+// reduce, so no pass runs and the Stage-1 routes are kept verbatim). Each
+// pass is a trace span carrying the post-pass overflow trajectory and a
+// congestion-heat snapshot.
+//
+// px, when non-nil, executes each pass with the deterministic speculative
+// parallel engine (see Parallel); results and observer event streams are
+// byte-identical to px == nil for every worker count. A nil px (or an
+// Options.Weight hook, which the speculative cost model cannot see
+// through) runs the sequential kernel.
+func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options, ws *Workspace, px *Parallel) (int, error) {
+	return ReduceCongestionCtx(context.Background(), g, nets, routes, order, maxPasses, opt, ws, px)
 }
 
 // ReduceCongestionCtx is ReduceCongestion with a cancellation checkpoint at
@@ -365,7 +419,7 @@ func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, 
 // ctx.Err() is returned with the passes completed so far. A pass itself
 // always runs to completion, so the graph's usage accounting is only ever
 // observed at a pass boundary.
-func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options, ws *Workspace) (int, error) {
+func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options, ws *Workspace, px *Parallel) (int, error) {
 	if ws == nil {
 		ws = NewWorkspace()
 	}
@@ -374,14 +428,19 @@ func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net
 		if err := ctx.Err(); err != nil {
 			return passes, err
 		}
-		if g.WireCongestion().Overflow == 0 && passes > 0 {
+		if g.WireCongestion().Overflow == 0 {
 			break
 		}
 		popt := opt
 		popt.Pass = passes + 1
 		t0 := obs.Now(opt.Obs)
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "ripup.pass", Stage: opt.Stage, Pass: popt.Pass, Net: -1})
-		err := RipupPass(g, nets, routes, order, popt, ws)
+		var err error
+		if px != nil && opt.Weight == nil {
+			_, err = px.Pass(g, nets, routes, order, popt, ws)
+		} else {
+			_, err = RipupPass(g, nets, routes, order, popt, ws)
+		}
 		if opt.Obs != nil {
 			wst := g.WireCongestion()
 			// The heat snapshot reuses the workspace buffer across passes;
@@ -400,6 +459,14 @@ func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net
 			break
 		}
 	}
+	// The speculation totals are emitted once per Stage-2 call, not per
+	// pass, so the counters exist (possibly zero) even when the circuit
+	// was overflow-free and no pass ran — cmd/metricscheck requires them.
+	if px != nil && opt.Obs != nil && opt.Weight == nil {
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.speculative", Stage: opt.Stage, Net: -1, Value: float64(px.stats.speculative)})
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.conflicts", Stage: opt.Stage, Net: -1, Value: float64(px.stats.conflicts)})
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.replayed", Stage: opt.Stage, Net: -1, Value: float64(px.stats.replayed)})
+	}
 	return passes, nil
 }
 
@@ -407,6 +474,10 @@ func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net
 // each tile's maximum incident w(e)/W(e). The result is written into heat
 // (grown as needed) and returned, so a caller-held buffer is reused across
 // pass snapshots instead of allocating NumTiles floats per pass.
+// Utilization goes through tile.Graph.EdgeUtil, whose zero-capacity guard
+// (the analogue of SiteCost's zero-sites check) keeps every snapshot value
+// finite — a raw w/W division would plant +Inf or NaN on a blocked edge
+// and poison heat.wire observer events and downstream aggregation.
 func wireHeat(g *tile.Graph, heat []float64) []float64 {
 	nt := g.NumTiles()
 	if cap(heat) < nt {
@@ -417,8 +488,7 @@ func wireHeat(g *tile.Graph, heat []float64) []float64 {
 		h := 0.0
 		_, edges := g.Adjacency(v)
 		for _, e32 := range edges {
-			e := int(e32)
-			if c := float64(g.Usage(e)) / float64(g.Capacity(e)); c > h {
+			if c := g.EdgeUtil(int(e32)); c > h {
 				h = c
 			}
 		}

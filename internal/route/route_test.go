@@ -148,8 +148,12 @@ func TestRipupPassKeepsAccountingConsistent(t *testing.T) {
 		AddUsage(g, rt)
 		order[i] = i
 	}
-	if err := RipupPass(g, nets, routes, order, DefaultOptions(), nil); err != nil {
+	committed, err := RipupPass(g, nets, routes, order, DefaultOptions(), nil)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if committed != len(order) {
+		t.Errorf("committed %d of %d nets on success", committed, len(order))
 	}
 	// Total registered wires must equal total route edges.
 	sum := 0
@@ -191,7 +195,7 @@ func TestReduceCongestionEliminatesOverflow(t *testing.T) {
 	if g.WireCongestion().Overflow == 0 {
 		t.Fatal("test setup should overflow")
 	}
-	passes, err := ReduceCongestion(g, nets, routes, order, 3, DefaultOptions(), nil)
+	passes, err := ReduceCongestion(g, nets, routes, order, 3, DefaultOptions(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,9 @@ func WireHeat(g *tile.Graph) []float64 {
 		nbuf = g.Neighbors(p, nbuf[:0])
 		for _, q := range nbuf {
 			e, _ := g.EdgeBetween(p, q)
-			c := float64(g.Usage(e)) / float64(g.Capacity(e))
+			// EdgeUtil guards blocked (zero-capacity) edges, keeping the
+			// rendered field finite.
+			c := g.EdgeUtil(e)
 			if c > heat[v] {
 				heat[v] = c
 			}

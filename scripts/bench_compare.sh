@@ -32,7 +32,7 @@ trap 'rm -rf "$workdir"' EXIT
 go build -o "$workdir/benchjson" ./cmd/benchjson
 
 echo "== route microbenchmarks (benchtime=$benchtime)" >&2
-go test -run '^$' -bench 'BenchmarkReroute$|BenchmarkRipupPass$|BenchmarkBufferAwarePath$' \
+go test -run '^$' -bench 'BenchmarkReroute$|BenchmarkRipupPass$|BenchmarkRipupPassParallel$|BenchmarkBufferAwarePath$' \
   -benchmem -benchtime "$benchtime" ./internal/route | tee "$workdir/bench.txt" >&2
 
 echo "== end-to-end suite benchmark (benchtime=$suite_benchtime)" >&2
