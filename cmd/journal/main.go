@@ -1,0 +1,200 @@
+// Command journal inspects and replays the run journal written by
+// rabidd -journal (internal/journal): an append-only JSONL file recording,
+// for every completed async job, the verbatim request, the content key,
+// the run's deterministic event stream, and the response digest.
+//
+// Usage:
+//
+//	journal -file runs.jsonl list
+//	journal -file runs.jsonl show <job-id>
+//	journal -file runs.jsonl replay [-workers N] [job-id ...]
+//
+// list prints one line per recorded run. show dumps a single entry,
+// request body included. replay re-executes recorded runs through the
+// exact service code path (server.ExecutePlan) and verifies that the
+// recomputed content key, response digest, and — for entries that ran the
+// pipeline — event-stream digest all match what the journal recorded;
+// with no ids it replays every entry. Any mismatch exits 1: the journal is
+// a replayable record precisely because RABID runs are bit-deterministic,
+// so a divergence means the recorded run is no longer reproducible.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "journal:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: journal -file runs.jsonl {list | show <job-id> | replay [-workers N] [job-id ...]}")
+}
+
+func run() error {
+	file := flag.String("file", "", "journal file to read (required)")
+	workers := flag.Int("workers", 0, "replay worker pool bound (0 = GOMAXPROCS; never changes results)")
+	flag.Parse()
+	if *file == "" || flag.NArg() < 1 {
+		return usage()
+	}
+	entries, err := journal.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	args := flag.Args()
+	switch args[0] {
+	case "list":
+		return list(entries)
+	case "show":
+		if len(args) != 2 {
+			return usage()
+		}
+		return show(entries, args[1])
+	case "replay":
+		return replay(entries, args[1:], *workers)
+	}
+	return usage()
+}
+
+// stamp renders an entry's record time; the journal stores wall-clock
+// milliseconds stamped by the server.
+func stamp(e journal.Entry) string {
+	return time.UnixMilli(e.UnixMs).UTC().Format(time.RFC3339)
+}
+
+// short abbreviates a digest/key for the listing.
+func short(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+func list(entries []journal.Entry) error {
+	if len(entries) == 0 {
+		fmt.Println("journal is empty")
+		return nil
+	}
+	fmt.Printf("%-32s  %-20s  %-4s  %-5s  %-12s  %6s  %s\n",
+		"ID", "TIME", "KIND", "CACHE", "KEY", "EVENTS", "RESULT-SHA256")
+	for _, e := range entries {
+		cacheCol := "run"
+		if e.CacheHit {
+			cacheCol = "hit"
+		}
+		fmt.Printf("%-32s  %-20s  %-4s  %-5s  %-12s  %6d  %s\n",
+			e.ID, stamp(e), e.Kind, cacheCol, short(e.Key), len(e.Events), short(e.ResultSHA256))
+	}
+	return nil
+}
+
+func find(entries []journal.Entry, id string) (journal.Entry, error) {
+	for _, e := range entries {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return journal.Entry{}, fmt.Errorf("no entry with id %q", id)
+}
+
+func show(entries []journal.Entry, id string) error {
+	e, err := find(entries, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("id:            %s\n", e.ID)
+	fmt.Printf("request id:    %s\n", e.RequestID)
+	fmt.Printf("time:          %s\n", stamp(e))
+	fmt.Printf("kind:          %s\n", e.Kind)
+	fmt.Printf("key:           %s\n", e.Key)
+	fmt.Printf("cache hit:     %v\n", e.CacheHit)
+	fmt.Printf("events:        %d\n", len(e.Events))
+	if e.EventsSHA256 != "" {
+		fmt.Printf("events sha256: %s\n", e.EventsSHA256)
+	}
+	fmt.Printf("result sha256: %s\n", e.ResultSHA256)
+	var pretty map[string]any
+	if err := json.Unmarshal(e.Request, &pretty); err == nil {
+		b, _ := json.MarshalIndent(pretty, "", "  ")
+		fmt.Printf("request:\n%s\n", b)
+	} else {
+		fmt.Printf("request (raw):\n%s\n", e.Request)
+	}
+	return nil
+}
+
+// replay re-runs the selected entries and verifies the recorded digests.
+func replay(entries []journal.Entry, ids []string, workers int) error {
+	selected := entries
+	if len(ids) > 0 {
+		selected = selected[:0:0]
+		for _, id := range ids {
+			e, err := find(entries, id)
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("nothing to replay: journal is empty")
+	}
+	failures := 0
+	for _, e := range selected {
+		if err := replayOne(e, workers); err != nil {
+			failures++
+			fmt.Printf("FAIL %s: %v\n", e.ID, err)
+		} else {
+			fmt.Printf("ok   %s  key+result%s verified\n", e.ID, eventsSuffix(e))
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d replays diverged from the journal", failures, len(selected))
+	}
+	fmt.Printf("replayed %d run(s), all digests match\n", len(selected))
+	return nil
+}
+
+func eventsSuffix(e journal.Entry) string {
+	if e.EventsSHA256 != "" {
+		return "+events"
+	}
+	return ""
+}
+
+func replayOne(e journal.Entry, workers int) error {
+	if e.Kind != "plan" {
+		return fmt.Errorf("kind %q is not replayable", e.Kind)
+	}
+	var stream bytes.Buffer
+	key, body, err := server.ExecutePlan(context.Background(), e.Request, workers, obs.NewJSONLines(&stream))
+	if err != nil {
+		return err
+	}
+	if key != e.Key {
+		return fmt.Errorf("content key diverged: recorded %s, replayed %s", short(e.Key), short(key))
+	}
+	if got := journal.Digest(body); got != e.ResultSHA256 {
+		return fmt.Errorf("result digest diverged: recorded %s, replayed %s", short(e.ResultSHA256), short(got))
+	}
+	if e.EventsSHA256 != "" {
+		if got := journal.Digest(stream.Bytes()); got != e.EventsSHA256 {
+			return fmt.Errorf("event-stream digest diverged: recorded %s, replayed %s", short(e.EventsSHA256), short(got))
+		}
+	}
+	return nil
+}

@@ -8,9 +8,15 @@
 // totals, for instance, are emitted even on a zero-pass run, so their
 // absence means the engine was never threaded through.
 //
+// -quantiles additionally gates the exported histogram quantiles: every
+// histogram with at least one sample must carry finite p50/p95/p99 in
+// monotone order (p50 <= p95 <= p99) inside [min, max] — the invariants
+// obs.Histogram.Quantile guarantees by construction, so a violation means
+// the quantile math or its serialization regressed.
+//
 // Usage:
 //
-//	metricscheck [-stages 4] [-counters a.1,b.2] metrics.json
+//	metricscheck [-stages 4] [-counters a.1,b.2] [-quantiles] metrics.json
 //
 // Exits non-zero with a diagnostic on the first violation.
 package main
@@ -44,29 +50,33 @@ type histogram struct {
 	Sum     *float64   `json:"sum"`
 	Min     *float64   `json:"min"`
 	Max     *float64   `json:"max"`
+	P50     *float64   `json:"p50"`
+	P95     *float64   `json:"p95"`
+	P99     *float64   `json:"p99"`
 	Buckets []*float64 `json:"buckets"`
 }
 
 func main() {
 	stages := flag.Int("stages", 4, "number of pipeline stages that must have completed spans (stage.1..stage.N)")
 	counters := flag.String("counters", "", "comma-separated counter keys that must be present (and finite)")
+	quantiles := flag.Bool("quantiles", false, "require finite monotone p50/p95/p99 on every non-empty histogram")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: metricscheck [-stages N] [-counters a.1,b.2] metrics.json")
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-stages N] [-counters a.1,b.2] [-quantiles] metrics.json")
 		os.Exit(2)
 	}
 	var required []string
 	if *counters != "" {
 		required = strings.Split(*counters, ",")
 	}
-	if err := check(flag.Arg(0), *stages, required); err != nil {
+	if err := check(flag.Arg(0), *stages, required, *quantiles); err != nil {
 		fmt.Fprintln(os.Stderr, "metricscheck:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s: ok (%d stage spans, %d required counters, all values finite)\n", flag.Arg(0), *stages, len(required))
 }
 
-func check(path string, stages int, required []string) error {
+func check(path string, stages int, required []string, quantiles bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -92,6 +102,11 @@ func check(path string, stages int, required []string) error {
 		for i, b := range h.Buckets {
 			if b == nil {
 				return fmt.Errorf("histogram %q bucket %d is non-finite", k, i)
+			}
+		}
+		if quantiles {
+			if err := checkQuantiles(k, h); err != nil {
+				return err
 			}
 		}
 	}
@@ -128,6 +143,34 @@ func check(path string, stages int, required []string) error {
 		if v == nil {
 			return fmt.Errorf("required counter %q is non-finite", k)
 		}
+	}
+	return nil
+}
+
+// checkQuantiles enforces the -quantiles gate on one histogram: a sampled
+// histogram must export finite p50/p95/p99, monotone and inside [min, max].
+func checkQuantiles(k string, h histogram) error {
+	if h.Count == nil {
+		return fmt.Errorf("histogram %q has a null count", k)
+	}
+	if *h.Count < 1 {
+		return nil // empty histograms carry no meaningful quantiles
+	}
+	qs := []struct {
+		name string
+		v    *float64
+	}{{"p50", h.P50}, {"p95", h.P95}, {"p99", h.P99}}
+	for _, q := range qs {
+		if q.v == nil {
+			return fmt.Errorf("histogram %q %s is missing or non-finite", k, q.name)
+		}
+	}
+	if !(*h.P50 <= *h.P95 && *h.P95 <= *h.P99) {
+		return fmt.Errorf("histogram %q quantiles not monotone: p50=%g p95=%g p99=%g", k, *h.P50, *h.P95, *h.P99)
+	}
+	if *h.P50 < *h.Min || *h.P99 > *h.Max {
+		return fmt.Errorf("histogram %q quantiles outside [min, max]: p50=%g p99=%g range [%g, %g]",
+			k, *h.P50, *h.P99, *h.Min, *h.Max)
 	}
 	return nil
 }

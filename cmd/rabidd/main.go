@@ -5,14 +5,23 @@
 //
 // Usage:
 //
-//	rabidd -addr :8080
+//	rabidd -addr :8080 [-journal runs.jsonl] [-access-log access.jsonl]
 //
 // Endpoints (see internal/server):
 //
-//	POST /v1/plan     {"circuit": {...}, "params": {...}, "timeout_ms": 60000}
-//	POST /v1/bbp      {"circuit": {...}, "capacity": 2}
-//	GET  /v1/healthz  liveness and admission pressure
-//	GET  /v1/metricz  obs.Metrics snapshot (cmd/metricscheck-compatible)
+//	POST   /v1/plan             {"circuit": {...}, "params": {...}, "timeout_ms": 60000}
+//	POST   /v1/bbp              {"circuit": {...}, "capacity": 2}
+//	POST   /v1/jobs             async submit of a /v1/plan body; 202 + job id
+//	GET    /v1/jobs/{id}        job status; embeds the result when done
+//	GET    /v1/jobs/{id}/events live SSE stream of the run's obs events
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/healthz          liveness, admission pressure, cache and job load
+//	GET    /v1/metricz          obs.Metrics snapshot (cmd/metricscheck-compatible)
+//
+// -journal appends one replayable record per completed async job to a
+// JSONL file cmd/journal can list, show, and replay. -access-log writes
+// one structured JSON line per request (request id, route, status,
+// latency). Both are disabled — at zero cost — when unset.
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, lets
 // in-flight requests finish (bounded by -drain), and exits 0.
@@ -29,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/netlist"
 	"repro/internal/server"
 )
@@ -50,17 +60,40 @@ func run() error {
 		maxBody     = flag.Int64("max-body", netlist.MaxJSONBytes, "request body size cap in bytes")
 		workers     = flag.Int("workers", 0, "per-run worker pool bound (0 = GOMAXPROCS; never changes results)")
 		drain       = flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+		maxJobs     = flag.Int("max-jobs", 64, "async job table bound (queued + running + retained finished)")
+		jobTTL      = flag.Duration("job-ttl", 15*time.Minute, "retention of finished async job records")
+		journalPath = flag.String("journal", "", "append-only run journal file (JSONL; empty = disabled)")
+		accessPath  = flag.String("access-log", "", "structured JSON access-log file (empty = disabled)")
 	)
 	flag.Parse()
 
-	s := server.New(server.Config{
+	cfg := server.Config{
 		MaxInflight:    *maxInflight,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		CacheEntries:   *cacheSize,
 		MaxBodyBytes:   *maxBody,
 		Workers:        *workers,
-	})
+		MaxJobs:        *maxJobs,
+		JobTTL:         *jobTTL,
+	}
+	if *journalPath != "" {
+		jw, err := journal.Open(*journalPath)
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		defer jw.Close()
+		cfg.Journal = jw
+	}
+	if *accessPath != "" {
+		f, err := os.OpenFile(*accessPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening access log: %w", err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+	s := server.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

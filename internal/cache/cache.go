@@ -160,6 +160,10 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
+// Cap returns the retention bound (0 = retention disabled). Alongside Len
+// it gives /v1/healthz its cache-occupancy gauge.
+func (c *Cache) Cap() int { return c.max }
+
 // Get returns the cached bytes for key, marking it most recently used.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()

@@ -350,3 +350,78 @@ func TestZeroEntriesStoresNothing(t *testing.T) {
 		t.Errorf("Len() = %d with retention disabled", c.Len())
 	}
 }
+
+// TestCoalescedCounterExact: N concurrent Do calls for one key produce
+// exactly one miss and N-1 coalesced observations — no double counting,
+// no lost waiters. The leader's compute is gated on a channel and released
+// only after the counter shows every other caller has parked in the
+// in-flight table, so the split is deterministic.
+func TestCoalescedCounterExact(t *testing.T) {
+	const n = 8
+	m := obs.NewMetrics()
+	c := New(4, m)
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+				<-release
+				return []byte("payload"), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i], hits[i] = v, hit
+		}(i)
+	}
+
+	// Wait until all n-1 followers are parked on the leader's flight, then
+	// let the leader finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Counter("cache.coalesced") < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %v callers coalesced after 10s, want %d", m.Counter("cache.coalesced"), n-1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if miss := m.Counter("cache.miss"); miss != 1 {
+		t.Errorf("cache.miss = %v, want exactly 1", miss)
+	}
+	if co := m.Counter("cache.coalesced"); co != n-1 {
+		t.Errorf("cache.coalesced = %v, want exactly %d", co, n-1)
+	}
+	if hit := m.Counter("cache.hit"); hit != 0 {
+		t.Errorf("cache.hit = %v, want 0 (no resident entry existed)", hit)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if string(results[i]) != "payload" {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+		if !hits[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers reported hit=false, want exactly 1 (the leader)", leaders)
+	}
+
+	// A follow-up call is a resident hit: exactly one hit, no new miss.
+	if _, hit, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+		t.Error("compute ran for a resident key")
+		return nil, nil
+	}); err != nil || !hit {
+		t.Errorf("resident Do: hit=%v err=%v, want hit=true", hit, err)
+	}
+	if hit, miss := m.Counter("cache.hit"), m.Counter("cache.miss"); hit != 1 || miss != 1 {
+		t.Errorf("after resident hit: hit=%v miss=%v, want 1/1", hit, miss)
+	}
+}

@@ -1,0 +1,188 @@
+// Package journal is the persistent, replayable run journal of the
+// planning service: an append-only JSON-lines file recording, for every
+// completed async job, the verbatim request body, the content key, the
+// run's deterministic telemetry event stream, and a SHA-256 digest of the
+// deterministic response bytes.
+//
+// Because RABID runs are bit-deterministic (the property the content-
+// addressed cache rests on), a journal entry is a complete correctness
+// witness: cmd/journal can re-run the recorded request through the core
+// and require the replayed response digest — and the replayed event
+// stream — to match the recorded ones byte for byte. That makes the
+// journal both an audit log and a regression gate, and it is the
+// foundation for shared-cache / multi-replica work: entries are location-
+// independent (keyed by content, not by server).
+//
+// This package never reads the wall clock (rabidlint's wallclock check
+// applies): the caller — the service boundary, which is clock-exempt —
+// stamps Entry.UnixMs.
+package journal
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Version is the journal format version, stamped into every entry so a
+// future layout change cannot silently alias old records.
+const Version = 1
+
+// Entry is one journaled run. Request holds the verbatim POST body the
+// service accepted (circuit + params + timeout), so replay re-parses it
+// through exactly the code path the original run took. Events holds the
+// run's JSON-lines telemetry stream, one raw JSON object per line, present
+// only when this job actually executed the pipeline (a cache hit or a
+// coalesced waiter shares another entry's run and records none).
+type Entry struct {
+	V         int    `json:"v"`
+	ID        string `json:"id"`
+	RequestID string `json:"request_id,omitempty"`
+	Kind      string `json:"kind"`
+	Key       string `json:"key"`
+	UnixMs    int64  `json:"unix_ms"`
+	CacheHit  bool   `json:"cache_hit"`
+
+	Request json.RawMessage `json:"request"`
+
+	// Events is the run's deterministic event stream (the bytes the
+	// -events sink would have written, split at line boundaries); empty
+	// for cache hits.
+	Events []json.RawMessage `json:"events,omitempty"`
+	// EventsSHA256 digests the exact event-stream bytes (lines joined
+	// with trailing newlines); empty when Events is.
+	EventsSHA256 string `json:"events_sha256,omitempty"`
+	// ResultSHA256 digests the deterministic response body — the replay
+	// correctness gate.
+	ResultSHA256 string `json:"result_sha256"`
+}
+
+// EventStream reassembles the exact JSON-lines bytes of the recorded event
+// stream (each line newline-terminated), the form the digests are taken
+// over and the -events sink writes.
+func (e *Entry) EventStream() []byte {
+	var b []byte
+	for _, ln := range e.Events {
+		b = append(b, ln...)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// Digest returns the hex SHA-256 of b — the digest form used throughout
+// the journal.
+func Digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// SplitLines cuts a newline-terminated JSON-lines buffer into per-line raw
+// messages (the Entry.Events representation). A trailing fragment without
+// a newline is kept as a final line.
+func SplitLines(stream []byte) []json.RawMessage {
+	var lines []json.RawMessage
+	for len(stream) > 0 {
+		i := 0
+		for i < len(stream) && stream[i] != '\n' {
+			i++
+		}
+		line := make([]byte, i)
+		copy(line, stream[:i])
+		lines = append(lines, line)
+		if i < len(stream) {
+			i++
+		}
+		stream = stream[i:]
+	}
+	return lines
+}
+
+// Writer appends entries to a journal file, one JSON object per line.
+// Safe for concurrent use; each entry is written with a single Write call
+// so concurrent appenders never interleave bytes.
+type Writer struct {
+	mu sync.Mutex
+	w  io.Writer
+	c  io.Closer // nil when wrapping a plain writer
+}
+
+// Open opens (creating if needed) the journal at path for appending.
+func Open(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	return &Writer{w: f, c: f}, nil
+}
+
+// NewWriter wraps an arbitrary writer (tests, in-memory buffers).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Append serializes e (stamping the format version) and appends it as one
+// line.
+func (w *Writer) Append(e Entry) error {
+	e.V = Version
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: serialize entry %s: %w", e.ID, err)
+	}
+	b = append(b, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("journal: append entry %s: %w", e.ID, err)
+	}
+	return nil
+}
+
+// Close closes the underlying file, if Open created one.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.c == nil {
+		return nil
+	}
+	return w.c.Close()
+}
+
+// Read decodes every entry of a journal stream, rejecting malformed lines
+// and unsupported versions (a truncated final line — a crash mid-append —
+// is reported, not silently dropped).
+func Read(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(nil, 1<<30)
+	var entries []Entry
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return entries, fmt.Errorf("journal: line %d: %w", n, err)
+		}
+		if e.V != Version {
+			return entries, fmt.Errorf("journal: line %d: unsupported version %d (want %d)", n, e.V, Version)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return entries, fmt.Errorf("journal: read: %w", err)
+	}
+	return entries, nil
+}
+
+// ReadFile reads every entry of the journal at path.
+func ReadFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

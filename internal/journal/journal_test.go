@@ -1,0 +1,158 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []byte(`{"k":"span_begin","scope":"run","net":-1}` + "\n" +
+		`{"k":"counter","scope":"route.pops","stage":2,"v":7}` + "\n")
+	in := Entry{
+		ID:           "job-1",
+		RequestID:    "req-1",
+		Kind:         "plan",
+		Key:          "abc123",
+		UnixMs:       1754600000000,
+		Request:      []byte(`{"circuit":{"name":"x"}}`),
+		Events:       SplitLines(stream),
+		EventsSHA256: Digest(stream),
+		ResultSHA256: Digest([]byte(`{"key":"abc123"}`)),
+	}
+	if err := w.Append(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Entry{ID: "job-2", Kind: "plan", Key: "def", CacheHit: true,
+		Request: []byte(`{}`), ResultSHA256: Digest(nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("read %d entries, want 2", len(entries))
+	}
+	got := entries[0]
+	if got.V != Version || got.ID != "job-1" || got.Key != "abc123" || got.RequestID != "req-1" {
+		t.Errorf("entry 0 header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.EventStream(), stream) {
+		t.Errorf("EventStream round trip:\n got %q\nwant %q", got.EventStream(), stream)
+	}
+	if Digest(got.EventStream()) != got.EventsSHA256 {
+		t.Error("recorded events digest does not match reassembled stream")
+	}
+	if !entries[1].CacheHit || entries[1].Events != nil {
+		t.Errorf("entry 1 should be a hit with no events: %+v", entries[1])
+	}
+}
+
+// TestAppendIsOneLinePerEntry: concurrent appends never interleave — every
+// journal line parses on its own.
+func TestAppendIsOneLinePerEntry(t *testing.T) {
+	var buf bytes.Buffer
+	type lockedBuf struct {
+		mu sync.Mutex
+		b  *bytes.Buffer
+	}
+	lb := &lockedBuf{b: &buf}
+	w := NewWriter(writerFunc(func(p []byte) (int, error) {
+		lb.mu.Lock()
+		defer lb.mu.Unlock()
+		return lb.b.Write(p)
+	}))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := w.Append(Entry{ID: "x", Kind: "plan", Request: []byte(`{}`)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	entries, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("interleaved append corrupted the journal: %v", err)
+	}
+	if len(entries) != 160 {
+		t.Errorf("read %d entries, want 160", len(entries))
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestReadRejectsGarbageAndVersionSkew(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"v":99,"id":"x","kind":"plan","key":"k","unix_ms":0,"cache_hit":false,"request":{},"result_sha256":""}` + "\n")); err == nil {
+		t.Error("future version accepted")
+	}
+	// Blank lines are tolerated (a crash between the newline and the next
+	// entry must not poison the whole journal).
+	entries, err := Read(strings.NewReader("\n"))
+	if err != nil || len(entries) != 0 {
+		t.Errorf("blank-only journal: %v, %d entries", err, len(entries))
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	lines := SplitLines([]byte("{\"a\":1}\n{\"b\":2}\n"))
+	if len(lines) != 2 || string(lines[0]) != `{"a":1}` || string(lines[1]) != `{"b":2}` {
+		t.Errorf("SplitLines = %q", lines)
+	}
+	if got := SplitLines(nil); got != nil {
+		t.Errorf("SplitLines(nil) = %q, want nil", got)
+	}
+	// An unterminated trailing fragment is preserved.
+	frag := SplitLines([]byte("{\"a\":1}\n{\"b\""))
+	if len(frag) != 2 || string(frag[1]) != `{"b"` {
+		t.Errorf("trailing fragment lost: %q", frag)
+	}
+}
+
+func TestOpenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	for i := 0; i < 2; i++ {
+		w, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(Entry{ID: "a", Kind: "plan", Request: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("reopened journal has %d entries, want 2 (append mode)", len(entries))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

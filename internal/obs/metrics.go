@@ -37,6 +37,57 @@ func (h *Histogram) observe(v float64) {
 	h.Buckets[bucketOf(v)]++
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) of the observed values
+// from the power-of-two buckets: it walks the cumulative counts to the
+// bucket holding the q-th observation and interpolates linearly inside the
+// bucket's [2^(i-1), 2^i) range, clamping to the exact observed [Min, Max].
+// The clamp makes estimates finite whenever every observation was finite,
+// and the monotone walk makes Quantile itself monotone in q — the two
+// properties cmd/metricscheck's -quantiles gate asserts. A histogram with
+// no observations reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			v := lo + (rank-prev)/float64(n)*(hi-lo)
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+	}
+	return h.Max
+}
+
+// bucketBounds returns the value range [lo, hi) of bucket i, mirroring
+// bucketOf: bucket 0 absorbs everything below 1 (including negatives, which
+// the Min clamp in Quantile handles), bucket i >= 1 covers [2^(i-1), 2^i).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Ldexp(1, i-1), math.Ldexp(1, i)
+}
+
 // bucketOf maps v to its power-of-two bucket; non-finite and negative
 // values land in the extreme buckets rather than corrupting the array.
 func bucketOf(v float64) int {
@@ -178,6 +229,12 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		b = appendFloat(b, h.Min)
 		b = append(b, `,"max":`...)
 		b = appendFloat(b, h.Max)
+		b = append(b, `,"p50":`...)
+		b = appendFloat(b, h.Quantile(0.50))
+		b = append(b, `,"p95":`...)
+		b = appendFloat(b, h.Quantile(0.95))
+		b = append(b, `,"p99":`...)
+		b = appendFloat(b, h.Quantile(0.99))
 		b = append(b, `,"buckets":[`...)
 		// Trailing empty buckets are truncated to keep dumps compact.
 		top := len(h.Buckets)
@@ -236,6 +293,14 @@ func (m *Metrics) WriteSummary(w io.Writer) error {
 		fmt.Fprintf(w, "  gauges (last value):\n")
 		for _, k := range sortedKeys(m.gauges) {
 			fmt.Fprintf(w, "    %-28s %g\n", k, m.gauges[k])
+		}
+	}
+	if len(m.hists) > 0 {
+		fmt.Fprintf(w, "  histograms (count, min / p50 p95 p99 / max):\n")
+		for _, k := range sortedKeys(m.hists) {
+			h := m.hists[k]
+			fmt.Fprintf(w, "    %-28s %6dx  %g / %g %g %g / %g\n",
+				k, h.Count, h.Min, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
 		}
 	}
 	return nil

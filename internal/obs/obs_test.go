@@ -116,8 +116,8 @@ func TestMetricsJSONGolden(t *testing.T) {
 	}
 	want := `{"counters":{"route.pops.2":168},` +
 		`"gauges":{"ripup.overflow.2":0.5},` +
-		`"histograms":{"ripup.overflow.2":{"count":1,"sum":0.5,"min":0.5,"max":0.5,"buckets":[1]},` +
-		`"route.pops.2":{"count":2,"sum":168,"min":45,"max":123,"buckets":[0,0,0,0,0,0,1,1]}},` +
+		`"histograms":{"ripup.overflow.2":{"count":1,"sum":0.5,"min":0.5,"max":0.5,"p50":0.5,"p95":0.5,"p99":0.5,"buckets":[1]},` +
+		`"route.pops.2":{"count":2,"sum":168,"min":45,"max":123,"p50":64,"p95":121.6,"p99":123,"buckets":[0,0,0,0,0,0,1,1]}},` +
 		`"spans":{"ripup.pass.2":{"count":1,"total_ns":1500000},` +
 		`"run":{"count":1,"total_ns":3000000},` +
 		`"stage.2":{"count":1,"total_ns":2000000}}}` + "\n"
@@ -149,6 +149,9 @@ func TestSummaryGolden(t *testing.T) {
     route.pops.2                 168
   gauges (last value):
     ripup.overflow.2             0.5
+  histograms (count, min / p50 p95 p99 / max):
+    ripup.overflow.2                  1x  0.5 / 0.5 0.5 0.5 / 0.5
+    route.pops.2                      2x  45 / 64 121.6 123 / 123
 `
 	if got := buf.String(); got != want {
 		t.Errorf("summary mismatch:\n got:\n%s\nwant:\n%s", got, want)
@@ -273,6 +276,60 @@ func TestProgressSink(t *testing.T) {
 	}
 	if Progress(nil) != nil {
 		t.Error("Progress(nil) must return nil")
+	}
+}
+
+// TestHistogramQuantiles: quantile estimates are clamped to the observed
+// range, monotone in q, and exact when a bucket's contents are pinned by
+// Min/Max — the contract /v1/metricz's p50/p95/p99 export and the
+// metricscheck -quantiles gate rely on.
+func TestHistogramQuantiles(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %g, want 0", got)
+	}
+
+	var h Histogram
+	for v := 1.0; v <= 100; v++ {
+		h.observe(v)
+	}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1}
+	prev := math.Inf(-1)
+	for _, q := range qs {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("Quantile(%g) = %g, want finite", q, got)
+		}
+		if got < h.Min || got > h.Max {
+			t.Errorf("Quantile(%g) = %g outside observed range [%g, %g]", q, got, h.Min, h.Max)
+		}
+		if got < prev {
+			t.Errorf("Quantile(%g) = %g < Quantile at lower q (%g): not monotone", q, got, prev)
+		}
+		prev = got
+	}
+	// The uniform 1..100 stream has its true median at ~50; the log-bucket
+	// estimate must land inside the median's own power-of-two bucket.
+	if p50 := h.Quantile(0.5); p50 < 32 || p50 > 64 {
+		t.Errorf("p50 of uniform 1..100 = %g, want within [32, 64]", p50)
+	}
+
+	// A single observation answers every quantile with itself.
+	var one Histogram
+	one.observe(7)
+	for _, q := range qs {
+		if got := one.Quantile(q); got != 7 {
+			t.Errorf("single-value histogram Quantile(%g) = %g, want 7", q, got)
+		}
+	}
+
+	// Negative observations share bucket 0; the Min clamp keeps estimates
+	// inside the observed range rather than bucket 0's nominal [0, 1).
+	var neg Histogram
+	neg.observe(-3)
+	neg.observe(-1)
+	if got := neg.Quantile(0.5); got < -3 || got > -1 {
+		t.Errorf("negative-value histogram p50 = %g, want within [-3, -1]", got)
 	}
 }
 

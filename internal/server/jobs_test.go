@@ -1,0 +1,566 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// submitJob POSTs a job and decodes the 202 envelope.
+func submitJob(t *testing.T, url string, body []byte) jobSubmitResponse {
+	t.Helper()
+	resp, b := postJSON(t, url+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d, body %s, want 202", resp.StatusCode, b)
+	}
+	var sub jobSubmitResponse
+	if err := json.Unmarshal(b, &sub); err != nil {
+		t.Fatalf("submit body %s: %v", b, err)
+	}
+	if sub.ID == "" || sub.Key == "" || sub.State != jobQueued {
+		t.Fatalf("submit envelope %+v incomplete", sub)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+sub.ID {
+		t.Errorf("Location %q, want /v1/jobs/%s", loc, sub.ID)
+	}
+	return sub
+}
+
+// waitJob polls the status endpoint until the job reaches a terminal
+// state.
+func waitJob(t *testing.T, url, id string) jobStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, b := getJSON(t, url+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s: status %d, body %s", id, resp.StatusCode, b)
+		}
+		var st jobStatusResponse
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("status body %s: %v", b, err)
+		}
+		switch st.State {
+		case jobDone, jobFailed, jobCancelled:
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobStatusResponse{}
+}
+
+// sseFrame is one parsed Server-Sent Events frame.
+type sseFrame struct {
+	event string
+	data  []string
+}
+
+// readSSE fetches an /events stream to termination and parses its frames.
+// The handler closes the stream after the "done" frame, so a plain GET +
+// ReadAll sees the whole thing.
+func readSSE(t *testing.T, url string) []sseFrame {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	return parseSSE(t, resp.Body)
+}
+
+func parseSSE(t *testing.T, r io.Reader) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	cur := sseFrame{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(nil, 1<<24)
+	dirty := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if dirty {
+				frames = append(frames, cur)
+				cur = sseFrame{}
+				dirty = false
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+			dirty = true
+		case strings.HasPrefix(line, "data: "):
+			cur.data = append(cur.data, strings.TrimPrefix(line, "data: "))
+			dirty = true
+		default:
+			t.Fatalf("unparseable SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return frames
+}
+
+// eventPayload reassembles the JSON-lines stream carried by the unnamed
+// (telemetry) frames.
+func eventPayload(frames []sseFrame) []byte {
+	var b []byte
+	for _, f := range frames {
+		if f.event != "" {
+			continue
+		}
+		for _, d := range f.data {
+			b = append(b, d...)
+			b = append(b, '\n')
+		}
+	}
+	return b
+}
+
+// TestJobEndToEnd: the async path produces, for the same request, exactly
+// the bytes the sync path serves — and the SSE stream is byte-identical to
+// the -events JSON-lines sink for the same run.
+func TestJobEndToEnd(t *testing.T) {
+	m := obs.NewMetrics()
+	ts := httptest.NewServer(New(Config{Metrics: m}).Handler())
+	defer ts.Close()
+	body := planBody(t, testCircuit(t, 1), "")
+
+	sub := submitJob(t, ts.URL, body)
+	frames := readSSE(t, ts.URL+"/v1/jobs/"+sub.ID+"/events")
+	st := waitJob(t, ts.URL, sub.ID)
+	if st.State != jobDone || st.Cache != "miss" {
+		t.Fatalf("job finished as %s/%s, want done/miss (error %q)", st.State, st.Cache, st.Error)
+	}
+	if st.Key != sub.Key {
+		t.Errorf("status key %s != submit key %s", st.Key, sub.Key)
+	}
+
+	// The embedded result must be byte-identical to what /v1/plan serves
+	// for the same request (which is now a cache hit on the job's run).
+	resp, planBytesResp := postJSON(t, ts.URL+"/v1/plan", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan after job: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Error("sync plan after the job's run was not a cache hit — jobs and plans do not share the cache")
+	}
+	if !bytes.Equal(st.Result, planBytesResp) {
+		t.Error("job result differs from the sync /v1/plan response for the same request")
+	}
+
+	// Reference event stream: the same run through the core with a plain
+	// JSON-lines sink — the exact bytes `rabid -events` would write.
+	var req planRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	c, p, _, err := parsePlan(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref bytes.Buffer
+	p.Observer = obs.NewJSONLines(&ref)
+	if _, err := core.RunContext(context.Background(), c, p); err != nil {
+		t.Fatal(err)
+	}
+	got := eventPayload(frames)
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Errorf("SSE event stream is not byte-identical to the -events sink:\n got %d bytes\nwant %d bytes",
+			len(got), ref.Len())
+	}
+	if len(frames) == 0 || frames[len(frames)-1].event != "done" {
+		t.Error("SSE stream did not terminate with a done frame")
+	}
+	if frames[0].event != "status" {
+		t.Error("SSE stream did not open with a status frame")
+	}
+}
+
+// TestJobEventsAfterCompletion: a subscriber that joins after the job has
+// finished still receives the full recorded stream (the prefix) and the
+// done frame — late joiners lose nothing.
+func TestJobEventsAfterCompletion(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	body := planBody(t, testCircuit(t, 2), "")
+
+	sub := submitJob(t, ts.URL, body)
+	waitJob(t, ts.URL, sub.ID)
+	early := readSSE(t, ts.URL+"/v1/jobs/"+sub.ID+"/events")
+	late := readSSE(t, ts.URL+"/v1/jobs/"+sub.ID+"/events")
+	if !bytes.Equal(eventPayload(early), eventPayload(late)) {
+		t.Error("post-completion subscriber saw a different stream")
+	}
+	if len(eventPayload(late)) == 0 {
+		t.Error("post-completion subscriber saw no events")
+	}
+}
+
+// TestJobEventsMidRunSubscriber drives the SSE handler against a
+// hand-built job whose event log is fed in controlled steps: a subscriber
+// joining mid-run must see the already-written prefix plus the live tail,
+// with no gaps and no duplicates.
+func TestJobEventsMidRunSubscriber(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j := &job{
+		id:     "test-mid-run",
+		key:    "k",
+		cancel: func() {},
+		log:    newEventLog(),
+		doneCh: make(chan struct{}),
+		state:  jobRunning,
+	}
+	if !s.jobs.add(j, time.Now()) {
+		t.Fatal("could not register test job")
+	}
+	var want bytes.Buffer
+	emit := func(i int) {
+		line := fmt.Sprintf("{\"k\":\"counter\",\"scope\":\"t\",\"v\":%d}\n", i)
+		want.WriteString(line)
+		if _, err := j.log.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prefix written before the subscriber exists.
+	for i := 0; i < 10; i++ {
+		emit(i)
+	}
+
+	type result struct {
+		frames []sseFrame
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/test-mid-run/events")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		done <- result{frames: parseSSE(t, resp.Body)}
+	}()
+
+	// Wait until the subscriber has consumed the prefix (the handler's
+	// offset only advances by reading), then stream the live tail.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, _ := j.log.read(0); len(got) == want.Len() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 10; i < 30; i++ {
+		emit(i)
+		if i%7 == 0 {
+			time.Sleep(2 * time.Millisecond) // vary the arrival pattern
+		}
+	}
+	j.finish(jobDone, []byte(`{}`), false, nil, time.Now())
+
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	got := eventPayload(r.frames)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("mid-run subscriber stream mismatch (gaps or duplicates):\n got: %q\nwant: %q", got, want.Bytes())
+	}
+	if r.frames[len(r.frames)-1].event != "done" {
+		t.Error("stream did not end with a done frame")
+	}
+}
+
+// TestJobCancel: DELETE aborts a pending job and it settles as cancelled;
+// its SSE stream terminates with a done frame carrying the cancelled
+// state. The job is pinned in the admission queue by an occupied run slot,
+// so the cancellation deterministically lands before the run starts.
+func TestJobCancel(t *testing.T) {
+	s := New(Config{MaxInflight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the single run slot so the job blocks in admission.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	sub := submitJob(t, ts.URL, planBody(t, testCircuit(t, 5), ""))
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	st := waitJob(t, ts.URL, sub.ID)
+	if st.State != jobCancelled {
+		t.Fatalf("job settled as %q (error %q), want cancelled", st.State, st.Error)
+	}
+	if st.Result != nil {
+		t.Error("cancelled job carries a result")
+	}
+	frames := readSSE(t, ts.URL+"/v1/jobs/"+sub.ID+"/events")
+	last := frames[len(frames)-1]
+	if last.event != "done" || !strings.Contains(strings.Join(last.data, ""), jobCancelled) {
+		t.Errorf("SSE done frame %+v does not report cancellation", last)
+	}
+}
+
+// TestJobUnknownID: the job endpoints 404 cleanly on unknown ids.
+func TestJobUnknownID(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/events"} {
+		resp, b := getJSON(t, ts.URL+path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, body %s, want 404", path, resp.StatusCode, b)
+		}
+	}
+}
+
+// TestJobTableBoundsAndTTL: finished jobs are evicted by TTL and by
+// oldest-finished-first pressure; a table full of active jobs rejects new
+// submissions with 429.
+func TestJobTableBoundsAndTTL(t *testing.T) {
+	tab := newJobTable(2, 50*time.Millisecond)
+	t0 := time.Unix(0, 0)
+	mk := func(id string) *job {
+		return &job{id: id, cancel: func() {}, log: newEventLog(), doneCh: make(chan struct{}), state: jobQueued}
+	}
+
+	// Two active jobs fill the table; a third is rejected.
+	a, b := mk("a"), mk("b")
+	if !tab.add(a, t0) || !tab.add(b, t0) {
+		t.Fatal("empty table rejected jobs")
+	}
+	if tab.add(mk("c"), t0) {
+		t.Fatal("full-of-active table accepted a job")
+	}
+
+	// Finishing one makes room: the finished job is evicted for the next.
+	a.finish(jobDone, nil, false, nil, t0.Add(time.Millisecond))
+	if !tab.add(mk("d"), t0.Add(2*time.Millisecond)) {
+		t.Fatal("table with a finished job rejected a new one")
+	}
+	if _, ok := tab.get("a", t0.Add(2*time.Millisecond)); ok {
+		t.Error("evicted job still resolvable")
+	}
+
+	// TTL eviction: a finished job expires even without pressure.
+	b.finish(jobFailed, nil, false, nil, t0.Add(time.Millisecond))
+	if _, ok := tab.get("b", t0.Add(10*time.Millisecond)); !ok {
+		t.Error("freshly finished job not resolvable inside TTL")
+	}
+	if _, ok := tab.get("b", t0.Add(time.Second)); ok {
+		t.Error("expired job still resolvable after TTL")
+	}
+}
+
+// TestJobTableFull429: the HTTP surface maps a saturated job table to 429.
+func TestJobTableFull429(t *testing.T) {
+	s := New(Config{MaxJobs: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	blocker := &job{id: "blocker", cancel: func() {}, log: newEventLog(), doneCh: make(chan struct{}), state: jobRunning}
+	if !s.jobs.add(blocker, time.Now()) {
+		t.Fatal("could not seed blocker job")
+	}
+	resp, b := postJSON(t, ts.URL+"/v1/jobs", planBody(t, testCircuit(t, 1), ""))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit with full job table: status %d, body %s, want 429", resp.StatusCode, b)
+	}
+	if n := s.metrics.Counter("server.job.rejected"); n != 1 {
+		t.Errorf("server.job.rejected = %v, want 1", n)
+	}
+}
+
+// TestConcurrentJobsSingleRun: N concurrent submissions of the same
+// problem run the pipeline exactly once; every job settles done with
+// byte-identical results.
+func TestConcurrentJobsSingleRun(t *testing.T) {
+	m := obs.NewMetrics()
+	ts := httptest.NewServer(New(Config{Metrics: m}).Handler())
+	defer ts.Close()
+	body := planBody(t, testCircuit(t, 3), "")
+
+	const n = 6
+	subs := make([]jobSubmitResponse, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			subs[i] = submitJob(t, ts.URL, body)
+		}(i)
+	}
+	wg.Wait()
+	var first []byte
+	for i := 0; i < n; i++ {
+		st := waitJob(t, ts.URL, subs[i].ID)
+		if st.State != jobDone {
+			t.Fatalf("job %d settled as %s (error %q)", i, st.State, st.Error)
+		}
+		if i == 0 {
+			first = st.Result
+		} else if !bytes.Equal(first, st.Result) {
+			t.Errorf("job %d result differs from job 0", i)
+		}
+	}
+	if runs := m.Span("run").Count; runs != 1 {
+		t.Errorf("%d concurrent identical jobs ran the pipeline %d times, want 1", n, runs)
+	}
+	if miss := m.Counter("cache.miss"); miss != 1 {
+		t.Errorf("cache.miss = %v, want 1", miss)
+	}
+	if total := m.Counter("cache.miss") + m.Counter("cache.coalesced") + m.Counter("cache.hit"); total != n {
+		t.Errorf("miss+coalesced+hit = %v, want %d", total, n)
+	}
+}
+
+// TestJobJournalAndReplay: with a journal configured, a completed job is
+// appended with its request, key, event stream, and result digest — and
+// replaying the entry through ExecutePlan reproduces both digests exactly.
+// A repeat submission journals as a cache hit with no event stream.
+func TestJobJournalAndReplay(t *testing.T) {
+	jbuf := &syncBuffer{b: &bytes.Buffer{}}
+	jw := journal.NewWriter(jbuf)
+	ts := httptest.NewServer(New(Config{Journal: jw}).Handler())
+	defer ts.Close()
+	body := planBody(t, testCircuit(t, 4), "")
+
+	first := submitJob(t, ts.URL, body)
+	st := waitJob(t, ts.URL, first.ID)
+	if st.State != jobDone {
+		t.Fatalf("job settled as %s (error %q)", st.State, st.Error)
+	}
+	second := submitJob(t, ts.URL, body)
+	st2 := waitJob(t, ts.URL, second.ID)
+	if st2.State != jobDone || st2.Cache != "hit" {
+		t.Fatalf("repeat job settled as %s/%s, want done/hit", st2.State, st2.Cache)
+	}
+
+	entries, err := journal.Read(bytes.NewReader(jbuf.snapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("journal has %d entries, want 2", len(entries))
+	}
+	e := entries[0]
+	if e.ID != first.ID || e.Key != first.Key || e.Kind != "plan" || e.CacheHit {
+		t.Errorf("entry 0 header %+v does not match the first job", e)
+	}
+	if e.RequestID == "" {
+		t.Error("entry 0 carries no request id")
+	}
+	if len(e.Events) == 0 || e.EventsSHA256 == "" {
+		t.Fatal("entry 0 (a fresh run) recorded no event stream")
+	}
+	if journal.Digest(st.Result) != e.ResultSHA256 {
+		t.Error("recorded result digest does not match the served result")
+	}
+	if !entries[1].CacheHit || len(entries[1].Events) != 0 {
+		t.Errorf("entry 1 should be an event-less cache hit: hit=%v events=%d",
+			entries[1].CacheHit, len(entries[1].Events))
+	}
+	if entries[1].ResultSHA256 != e.ResultSHA256 {
+		t.Error("hit entry digest differs from the original run's")
+	}
+
+	// Replay: the journaled request re-runs to the recorded digests.
+	var sink bytes.Buffer
+	key, replayed, err := ExecutePlan(context.Background(), e.Request, 0, obs.NewJSONLines(&sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != e.Key {
+		t.Errorf("replayed key %s != journaled key %s", key, e.Key)
+	}
+	if journal.Digest(replayed) != e.ResultSHA256 {
+		t.Error("replayed result digest mismatch: the journal is not replayable")
+	}
+	if journal.Digest(sink.Bytes()) != e.EventsSHA256 {
+		t.Error("replayed event-stream digest mismatch")
+	}
+	if !bytes.Equal(sink.Bytes(), e.EventStream()) {
+		t.Error("replayed event stream differs byte-for-byte from the journaled one")
+	}
+}
+
+// syncBuffer makes a bytes.Buffer safe for the journal writer goroutine +
+// test reader.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  *bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.b.Bytes()...)
+}
+
+// TestHealthzOccupancy: /v1/healthz reports cache occupancy and job-table
+// load alongside admission pressure.
+func TestHealthzOccupancy(t *testing.T) {
+	s := New(Config{CacheEntries: 32, MaxJobs: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, b := postJSON(t, ts.URL+"/v1/plan", planBody(t, testCircuit(t, 1), "")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: status %d, body %s", resp.StatusCode, b)
+	}
+	running := &job{id: "r", cancel: func() {}, log: newEventLog(), doneCh: make(chan struct{}), state: jobRunning}
+	if !s.jobs.add(running, time.Now()) {
+		t.Fatal("could not seed running job")
+	}
+
+	resp, b := getJSON(t, ts.URL+"/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	var h healthzResponse
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cache.Entries != 1 || h.Cache.Capacity != 32 {
+		t.Errorf("cache occupancy %d/%d, want 1/32", h.Cache.Entries, h.Cache.Capacity)
+	}
+	if h.Jobs.Running != 1 || h.Jobs.Queued != 0 || h.Jobs.Capacity != 8 {
+		t.Errorf("job occupancy %+v, want 1 running of 8", h.Jobs)
+	}
+}

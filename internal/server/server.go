@@ -28,15 +28,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bbp"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/route"
@@ -67,6 +70,24 @@ type Config struct {
 	// counters, and the pipeline's own events — and backs /v1/metricz.
 	// nil gets a fresh registry.
 	Metrics *obs.Metrics
+	// MaxJobs bounds the async job table: queued + running + retained
+	// finished jobs (default 64). Submissions beyond the bound fail fast
+	// with 429 once no finished job can be evicted to make room.
+	MaxJobs int
+	// JobTTL is how long a finished job's record (terminal status, result,
+	// event stream) stays queryable before eviction (default 15m).
+	JobTTL time.Duration
+	// Journal, when non-nil, receives one append-only entry per
+	// successfully completed async job: the verbatim request, the content
+	// key, the run's event stream, and the response digest — the
+	// replayable run journal cmd/journal verifies. nil disables
+	// journaling at zero cost.
+	Journal *journal.Writer
+	// AccessLog, when non-nil, receives one structured JSON line per HTTP
+	// request (request id, route, status, latency, sizes). nil disables
+	// the access log at zero cost. Writes are serialized by the server,
+	// so any io.Writer works.
+	AccessLog io.Writer
 }
 
 // errBusy is the admission-rejection sentinel, mapped to 429.
@@ -87,6 +108,11 @@ type Server struct {
 	// plans route without re-growing scratch arrays. Purely mechanism:
 	// invisible to cache keys and response bytes.
 	pool *route.Pool
+
+	// jobs is the async job table (see jobs.go).
+	jobs *jobTable
+	// logMu serializes access-log lines onto cfg.AccessLog.
+	logMu sync.Mutex
 }
 
 // New builds a Server, applying Config defaults.
@@ -111,6 +137,12 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewMetrics()
 	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 64
+	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
 	s := &Server{
 		cfg:     cfg,
 		metrics: cfg.Metrics,
@@ -118,16 +150,23 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		pool:    route.NewPool(),
+		jobs:    newJobTable(cfg.MaxJobs, cfg.JobTTL),
 	}
 	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/bbp", s.handleBBP)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metricz", s.handleMetricz)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the v1 routes wrapped in the
+// service-edge middleware (request IDs, access log, per-route telemetry —
+// see edge.go).
+func (s *Server) Handler() http.Handler { return s.edge(s.mux) }
 
 // admit acquires a run slot, waiting in the bounded queue. It fails fast
 // with errBusy when MaxInflight+QueueDepth admissions are already in the
@@ -232,6 +271,67 @@ type planResponse struct {
 	Report *core.Report `json:"report"`
 }
 
+// parsePlan turns a decoded plan request into the run inputs: the parsed
+// circuit, the effective parameters (server-owned fields unset — the
+// caller attaches Workers, Observer, and WorkspacePool), and the content
+// key. Errors are client errors (400).
+func parsePlan(req *planRequest) (*netlist.Circuit, core.Params, string, error) {
+	c, err := netlist.ReadJSONLimit(bytes.NewReader(req.Circuit), 0)
+	if err != nil {
+		return nil, core.Params{}, "", err
+	}
+	p := core.DefaultParams()
+	req.Params.apply(&p)
+	key, err := cache.PlanKey(c, p)
+	if err != nil {
+		return nil, core.Params{}, "", err
+	}
+	return c, p, key, nil
+}
+
+// planBytes runs the pipeline and serializes the deterministic response
+// body: the report with wall-clock CPU columns zeroed, keyed by the
+// content address. Every service path that computes a plan — sync,
+// async job, or journal replay — funnels through here, so their bytes
+// can never diverge.
+func planBytes(ctx context.Context, c *netlist.Circuit, p core.Params, key string) ([]byte, error) {
+	res, err := core.RunContext(ctx, c, p)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := res.Report()
+	if err != nil {
+		return nil, err
+	}
+	for i := range rep.Stages {
+		rep.Stages[i].CPUSeconds = 0
+	}
+	return json.Marshal(planResponse{Key: key, Report: rep})
+}
+
+// ExecutePlan parses a /v1/plan- or /v1/jobs-shaped request body and runs
+// it to the deterministic response bytes, with o (may be nil) attached as
+// the run's observer. This is the journal-replay entry point: cmd/journal
+// feeds a recorded request back through exactly the code path the service
+// used, so a digest match is a real byte-identity statement. The body's
+// timeout_ms is ignored — the caller's ctx governs.
+func ExecutePlan(ctx context.Context, reqBody []byte, workers int, o obs.Observer) (key string, body []byte, err error) {
+	var req planRequest
+	dec := json.NewDecoder(bytes.NewReader(reqBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", nil, fmt.Errorf("server: decode request: %w", err)
+	}
+	c, p, key, err := parsePlan(&req)
+	if err != nil {
+		return "", nil, err
+	}
+	p.Workers = workers
+	p.Observer = o
+	body, err = planBytes(ctx, c, p, key)
+	return key, body, err
+}
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	defer s.span("server.plan", t0)
@@ -239,21 +339,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	c, err := netlist.ReadJSONLimit(bytes.NewReader(req.Circuit), 0)
+	c, p, key, err := parsePlan(&req)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	p := core.DefaultParams()
-	req.Params.apply(&p)
 	p.Workers = s.cfg.Workers
 	p.Observer = s.metrics
 	p.WorkspacePool = s.pool
-	key, err := cache.PlanKey(c, p)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 	body, hit, err := s.cache.Do(ctx, key, func() ([]byte, error) {
@@ -261,18 +354,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		defer s.release()
-		res, err := core.RunContext(ctx, c, p)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := res.Report()
-		if err != nil {
-			return nil, err
-		}
-		for i := range rep.Stages {
-			rep.Stages[i].CPUSeconds = 0
-		}
-		return json.Marshal(planResponse{Key: key, Report: rep})
+		return planBytes(ctx, c, p, key)
 	})
 	s.reply(w, key, body, hit, err)
 }
@@ -360,21 +442,41 @@ func (s *Server) handleBBP(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, key, body, hit, err)
 }
 
-// healthzResponse reports liveness and admission pressure.
+// healthzResponse reports liveness, admission pressure, cache occupancy,
+// and async-job load — everything a load balancer needs to see saturation
+// coming before requests start bouncing with 429.
 type healthzResponse struct {
 	Status   string `json:"status"`
 	Inflight int    `json:"inflight"`
 	Queued   int64  `json:"queued"`
 	Capacity int    `json:"capacity"`
+	Cache    struct {
+		Entries  int `json:"entries"`
+		Capacity int `json:"capacity"`
+	} `json:"cache"`
+	Jobs struct {
+		Queued   int `json:"queued"`
+		Running  int `json:"running"`
+		Finished int `json:"finished"`
+		Capacity int `json:"capacity"`
+	} `json:"jobs"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:   "ok",
 		Inflight: len(s.sem),
 		Queued:   s.queued.Load(),
 		Capacity: s.cfg.MaxInflight + s.cfg.QueueDepth,
-	})
+	}
+	resp.Cache.Entries = s.cache.Len()
+	resp.Cache.Capacity = s.cache.Cap()
+	queued, running, finished := s.jobs.counts()
+	resp.Jobs.Queued = queued
+	resp.Jobs.Running = running
+	resp.Jobs.Finished = finished
+	resp.Jobs.Capacity = s.cfg.MaxJobs
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
