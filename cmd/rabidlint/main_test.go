@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestSelectChecks locks the -only flag contract: valid names select, an
+// unknown name is a usage error listing the whole catalog (the CLI exits 2
+// on it), and an empty selection is rejected.
+func TestSelectChecks(t *testing.T) {
+	sel, err := selectChecks("wallclock, ctxflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || !sel["wallclock"] || !sel["ctxflow"] {
+		t.Errorf("selectChecks = %v, want {wallclock, ctxflow}", sel)
+	}
+
+	if sel, err := selectChecks(""); sel != nil || err != nil {
+		t.Errorf("empty -only should mean all checks, got %v, %v", sel, err)
+	}
+
+	_, err = selectChecks("wallclock,notacheck")
+	if err == nil {
+		t.Fatal("unknown check name accepted")
+	}
+	if !strings.Contains(err.Error(), `"notacheck"`) {
+		t.Errorf("error does not name the bad check: %v", err)
+	}
+	for _, c := range lint.Checks() {
+		if !strings.Contains(err.Error(), c) {
+			t.Errorf("error does not list valid check %q: %v", c, err)
+		}
+	}
+
+	if _, err := selectChecks(" , ,"); err == nil {
+		t.Error("blank-only -only accepted")
+	}
+}

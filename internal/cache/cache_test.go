@@ -86,8 +86,8 @@ func TestPlanKeyParamsSensitivity(t *testing.T) {
 		"SkipStage4":        {func(p *core.Params) { p.SkipStage4 = true }, true},
 		"DisableDemandTerm": {func(p *core.Params) { p.DisableDemandTerm = true }, true},
 		"UseMCFRouter":      {func(p *core.Params) { p.UseMCFRouter = true }, true},
-		"Workers":  {func(p *core.Params) { p.Workers = 3 }, false},
-		"Observer": {func(p *core.Params) { p.Observer = obs.NewMetrics() }, false},
+		"Workers":           {func(p *core.Params) { p.Workers = 3 }, false},
+		"Observer":          {func(p *core.Params) { p.Observer = obs.NewMetrics() }, false},
 		// Router workspace pooling is memory reuse, not configuration: the
 		// route.Workspace/adjacency machinery is mechanically equivalent to
 		// the unpooled path (golden fixtures prove byte identity), so a

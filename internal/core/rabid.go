@@ -168,7 +168,7 @@ type state struct {
 
 // Run executes the full RABID pipeline on the circuit.
 func Run(c *netlist.Circuit, p Params) (*Result, error) {
-	return RunContext(context.Background(), c, p)
+	return RunContext(context.Background(), c, p) //rabid:allow ctxflow Run is the documented Background wrapper over RunContext for context-free callers (tables, benches); service paths call RunContext
 }
 
 // RunContext is Run with cooperative cancellation. The pipeline checks ctx
@@ -181,7 +181,7 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 // change its result, because no checkpoint alters any computation.
 func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //rabid:allow ctxflow nil-ctx guard: a nil ctx would panic at the first checkpoint, so it is normalized to the documented Background behavior
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -227,8 +227,8 @@ func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, err
 		if err := f(); err != nil {
 			return fmt.Errorf("core: stage %d: %w", stage, err)
 		}
-		s := st.snapshot(stage)
-		s.CPU = time.Since(t0) //rabid:allow wallclock stage CPU is the tables' cpu(s) column, printed untapped
+		s := st.snapshot(stage) //rabid:allow ctxflow snapshot accounting must run to completion once a stage finished: cancelling mid-accounting would corrupt a completed run's stats, and the next stage-boundary checkpoint aborts promptly anyway
+		s.CPU = time.Since(t0)  //rabid:allow wallclock stage CPU is the tables' cpu(s) column, printed untapped
 		res.Stages = append(res.Stages, s)
 		st.emitStage(s)
 		return nil

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxflow.go pins the PR 4 cancellation plumbing: a request's
+// context.Context must flow from the service boundary down through
+// core.RunContext's checkpoints without being swapped for a fresh root
+// context along the way. Three rules:
+//
+//  1. A function that takes a context.Context must not originate
+//     context.Background() / context.TODO() — whether it passes the fresh
+//     root to a callee or uses it itself, its own ctx parameter (or a
+//     context derived from it) is what must flow.
+//  2. Library packages must not originate fresh root contexts at all.
+//     Exempt: main packages (commands and examples own the process root)
+//     and the async job-runner in internal/server/jobs.go (jobs
+//     deliberately outlive the submitting request, so detaching from its
+//     ctx is the documented design). A Background wrapper kept for
+//     context-free callers (core.Run over RunContext) carries a
+//     //rabid:allow ctxflow annotation with its reason.
+//  3. Transitively: a ctx-taking function must not call a context-less
+//     module function that reaches a fresh-context origination — that
+//     silently drops the caller's ctx one call deep (core.Run from a
+//     handler, say). Rule 3 sees through rule-2 //rabid:allow annotations
+//     on purpose: the annotation excuses the wrapper's existence for
+//     context-free callers, not a ctx-holding caller routing around its
+//     own ctx. Suppress at the call site if the detachment is deliberate.
+
+// jobRunnerFile is the one library file allowed to originate contexts.
+const jobRunnerFile = "internal/server/jobs.go"
+
+// takesContext reports whether fn has a context.Context parameter.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// inJobRunner reports whether a node's declaration lives in the exempted
+// job-runner file.
+func (a *analysis) inJobRunner(n *FuncNode) bool {
+	file := a.mod.relFile(a.mod.Fset.Position(n.Decl.Pos()).Filename)
+	return file == jobRunnerFile || strings.HasSuffix(file, "/"+jobRunnerFile)
+}
+
+// checkCtxFlow applies the three rules over the call graph.
+func (a *analysis) checkCtxFlow() {
+	freshOrigins := map[string]string{
+		"context.Background": "context.Background",
+		"context.TODO":       "context.TODO",
+	}
+
+	// Rules 1 and 2: direct originations.
+	for _, n := range a.cg.nodeList {
+		if a.inJobRunner(n) {
+			continue
+		}
+		hasCtx := takesContext(n.Fn)
+		isMain := n.Pkg.Types.Name() == "main"
+		for _, ext := range n.Exts {
+			leaf, ok := freshOrigins[ext.Name]
+			if !ok {
+				continue
+			}
+			switch {
+			case hasCtx:
+				a.report("ctxflow", ext.Pos, fmt.Sprintf(
+					"%s receives a context.Context but originates %s(); pass the ctx parameter "+
+						"(or derive from it) so cancellation flows through "+
+						"(or annotate: //rabid:allow ctxflow <reason>)",
+					a.cg.shortFunc(n.Fn), leaf))
+			case !isMain:
+				a.report("ctxflow", ext.Pos, fmt.Sprintf(
+					"library function %s originates %s(); accept a ctx from the caller — only "+
+						"main packages and the job-runner (%s) may create root contexts "+
+						"(or annotate: //rabid:allow ctxflow <reason>)",
+					a.cg.shortFunc(n.Fn), leaf, jobRunnerFile))
+			}
+		}
+	}
+
+	// Rule 3: ctx-taking functions must not drop their ctx into a
+	// context-less callee that reaches an origination. The taint runs over
+	// context-less non-main non-job-runner functions; origination sites
+	// taint even when //rabid:allow-ed (see the package comment), so the
+	// direct detector bypasses a.suppressed deliberately.
+	direct := func(n *FuncNode) (token.Pos, string, bool) {
+		for _, ext := range n.Exts {
+			if leaf, ok := freshOrigins[ext.Name]; ok {
+				return ext.Pos, leaf, true
+			}
+		}
+		return token.NoPos, "", false
+	}
+	exempt := func(n *FuncNode) bool {
+		return takesContext(n.Fn) || n.Pkg.Types.Name() == "main" || a.inJobRunner(n)
+	}
+	tm := a.computeTaint("ctxflow", direct, exempt)
+	for _, n := range a.cg.nodeList {
+		if !takesContext(n.Fn) || a.inJobRunner(n) {
+			continue
+		}
+		// Witness: the smallest-position unsuppressed call into the taint.
+		var wpos token.Pos
+		var wfn *types.Func
+		for _, cs := range n.Calls {
+			if tm[cs.Callee] == nil || a.suppressed("ctxflow", cs.Pos) {
+				continue
+			}
+			if wfn == nil || cs.Pos < wpos {
+				wpos, wfn = cs.Pos, cs.Callee
+			}
+		}
+		if wfn == nil {
+			continue
+		}
+		a.report("ctxflow", wpos, fmt.Sprintf(
+			"%s receives a context.Context but calls %s, which reaches a fresh root context: %s; "+
+				"use a ctx-aware variant so the caller's cancellation is not dropped "+
+				"(or annotate: //rabid:allow ctxflow <reason>)",
+			a.cg.shortFunc(n.Fn), a.cg.shortFunc(wfn),
+			a.cg.shortFunc(n.Fn)+" → "+a.taintPath(tm, wfn)))
+	}
+}

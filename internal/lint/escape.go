@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// escape.go is the compiler-backed half of the allocfree check. The PR 5
+// workspace kernel's contract — "with a warmed workspace and a nil observer,
+// the router's inner loop performs no allocations" — is guarded at runtime
+// by testing.AllocsPerRun over a handful of circuits. The escape gate proves
+// the same property from the compiler's own escape analysis, for every call
+// path: `go build -gcflags=-m` emits one diagnostic per value the compiler
+// heap-allocates, and the gate fails if any of them lands inside a hot-set
+// function without a //rabid:allow allocfree baseline annotation.
+//
+// The hot set lives in internal/lint/hotset.txt: one function symbol per
+// line, written exactly as the call-path messages render them
+// ("route.Reroute", "(*route.Workspace).pushPQ"). Symbols that no longer
+// resolve fail the gate loudly — the manifest cannot rot silently.
+//
+// Two properties of the toolchain make the gate cheap and reliable:
+//
+//   - `go build` replays compiler diagnostics from the build cache, so a
+//     warm-cache run costs milliseconds and still prints every -m line;
+//   - escape diagnostics are positioned at the allocation site *after
+//     inlining*: an allocation inside a callee that the compiler inlines
+//     into a hot function is attributed to the hot function's call-site
+//     line. That is exactly the frame the runtime allocation counter would
+//     bill, so baselining happens where the cost is paid.
+//
+// Baseline annotations mark the deliberate allocations: the cold grow path
+// (capacity doubling when the graph is larger than any seen before) and
+// error-path boxing (fmt.Errorf interface args on paths that abort the
+// route). Everything else inside the hot set is a regression.
+
+// hotsetFile is the manifest's module-root-relative path.
+const hotsetFile = "internal/lint/hotset.txt"
+
+// ParseHotset reads a hot-set manifest: one symbol per line, '#' starts a
+// comment, blank lines ignored.
+func ParseHotset(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading hot-set manifest: %w", err)
+	}
+	var syms []string
+	for _, line := range strings.Split(string(b), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			syms = append(syms, line)
+		}
+	}
+	return syms, nil
+}
+
+// hotRange is the body extent of one hot-set function.
+type hotRange struct {
+	symbol    string
+	file      string // module-root relative
+	startLine int
+	endLine   int
+}
+
+// resolveHotset maps manifest symbols onto function body ranges, failing on
+// symbols that no longer name a declared function.
+func resolveHotset(mod *Module, cg *CallGraph, symbols []string) ([]hotRange, error) {
+	byName := map[string]*FuncNode{}
+	cg.ForEachNode(func(n *FuncNode) {
+		byName[cg.shortFunc(n.Fn)] = n
+	})
+	var ranges []hotRange
+	var missing []string
+	for _, sym := range symbols {
+		n, ok := byName[sym]
+		if !ok {
+			missing = append(missing, sym)
+			continue
+		}
+		start := mod.Fset.Position(n.Decl.Pos())
+		end := mod.Fset.Position(n.Decl.End())
+		ranges = append(ranges, hotRange{
+			symbol:    sym,
+			file:      mod.relFile(start.Filename),
+			startLine: start.Line,
+			endLine:   end.Line,
+		})
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("lint: hot-set symbols not found in module (stale %s?): %s",
+			hotsetFile, strings.Join(missing, ", "))
+	}
+	return ranges, nil
+}
+
+// escapeDiagnostics runs the compiler over the whole module and returns the
+// raw -m output lines. The build cache replays diagnostics, so warm runs are
+// cheap; a failing build is a hard error with the compiler output attached.
+func escapeDiagnostics(root string) ([]string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m failed: %w\n%s", err, out)
+	}
+	return strings.Split(string(out), "\n"), nil
+}
+
+// escapeDiag is one parsed heap diagnostic.
+type escapeDiag struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// parseEscapeLine extracts a heap diagnostic from one -m output line
+// ("internal/route/route.go:135:10: make([]uint64, n) escapes to heap").
+// Non-heap lines (inlining decisions, "does not escape", package headers)
+// return ok=false.
+func parseEscapeLine(s string) (escapeDiag, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.HasPrefix(s, "#") {
+		return escapeDiag{}, false
+	}
+	if !strings.HasSuffix(s, "escapes to heap") && !strings.Contains(s, "moved to heap") {
+		return escapeDiag{}, false
+	}
+	// file:line:col: msg — split on the first three colons.
+	parts := strings.SplitN(s, ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return escapeDiag{}, false
+	}
+	line, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return escapeDiag{}, false
+	}
+	return escapeDiag{
+		file: filepath.ToSlash(parts[0]),
+		line: line,
+		col:  col,
+		msg:  strings.TrimSpace(parts[3]),
+	}, true
+}
+
+// EscapeGate runs the compiler-backed allocfree check: every heap-escape
+// diagnostic inside a hot-set function body that is not baselined by a
+// //rabid:allow allocfree annotation becomes a finding. The hot set is read
+// from hotsetPath ("" = internal/lint/hotset.txt under the module root).
+func EscapeGate(mod *Module, hotsetPath string) ([]Finding, error) {
+	if hotsetPath == "" {
+		hotsetPath = filepath.Join(mod.Root, filepath.FromSlash(hotsetFile))
+	}
+	symbols, err := ParseHotset(hotsetPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(symbols) == 0 {
+		return nil, fmt.Errorf("lint: hot-set manifest %s lists no symbols", hotsetPath)
+	}
+	cg := BuildCallGraph(mod)
+	ranges, err := resolveHotset(mod, cg, symbols)
+	if err != nil {
+		return nil, err
+	}
+	allows := allowSet{}
+	for _, pkg := range mod.Pkgs {
+		as, _ := collectAllows(mod, pkg) // malformed annotations are RunChecks findings
+		for k := range as {
+			allows[k] = true
+		}
+	}
+	lines, err := escapeDiagnostics(mod.Root)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	seen := map[string]bool{} // several makes can share one inlined call-site position
+	for _, s := range lines {
+		d, ok := parseEscapeLine(s)
+		if !ok {
+			continue
+		}
+		var hot *hotRange
+		for i := range ranges {
+			r := &ranges[i]
+			if r.file == d.file && r.startLine <= d.line && d.line <= r.endLine {
+				hot = r
+				break
+			}
+		}
+		if hot == nil {
+			continue
+		}
+		if allows.suppressed("allocfree", d.file, d.line) {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", d.file, d.line, d.col, d.msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		findings = append(findings, Finding{
+			Check: "allocfree", File: d.file, Line: d.line, Col: d.col,
+			Message: fmt.Sprintf(
+				"hot-set function %s heap-allocates: %s; the router's inner loop must be "+
+					"allocation-free with a warmed workspace — hoist the allocation into the "+
+					"workspace grow path (or baseline: //rabid:allow allocfree <reason>)",
+				hot.symbol, d.msg),
+		})
+	}
+	return sortFindings(findings), nil
+}

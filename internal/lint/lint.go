@@ -46,9 +46,15 @@ func (f Finding) Pos() string { return fmt.Sprintf("%s:%d:%d", f.File, f.Line, f
 
 func (f Finding) String() string { return fmt.Sprintf("%s: [%s] %s", f.Pos(), f.Check, f.Message) }
 
-// Checks lists every check ID in the suite, in report order.
+// Checks lists every check ID in the suite, in report order. The first six
+// are the intraprocedural PR 3 checks; specpure, ctxflow, and allocfree are
+// the interprocedural layer (allocfree findings are produced only by the
+// compiler-backed escape gate, EscapeGate / `rabidlint -escape`).
 func Checks() []string {
-	return []string{"maprange", "wallclock", "globalrand", "floateq", "narrowcast", "errdrop"}
+	return []string{
+		"maprange", "wallclock", "globalrand", "floateq", "narrowcast", "errdrop",
+		"specpure", "ctxflow", "allocfree",
+	}
 }
 
 // resultAffecting names the packages (by final import-path element) whose
@@ -74,13 +80,37 @@ var clockExempt = map[string]bool{"obs": true, "server": true}
 // (nil/empty = all); the whole module is always loaded, since type
 // information needs every dependency anyway.
 func Run(mod *Module, only map[string]bool) []Finding {
-	var fs []Finding
+	return RunChecks(mod, only, nil)
+}
+
+// RunChecks is Run with check selection: onlyChecks (nil/empty = all)
+// restricts which checks run, validated IDs only (cmd/rabidlint rejects
+// unknown names before calling in). Malformed //rabid:allow annotations are
+// reported regardless of the selection — a broken suppression must never
+// ride a narrowed run into CI green. The allocfree check is not run here
+// (it needs the compiler; see EscapeGate).
+func RunChecks(mod *Module, onlyPkgs, onlyChecks map[string]bool) []Finding {
+	a := newAnalysis(mod, onlyPkgs, onlyChecks)
 	for _, pkg := range mod.Pkgs {
-		if len(only) > 0 && !only[pkg.ImportPath] {
-			continue
-		}
-		fs = append(fs, lintPackage(mod, pkg)...)
+		a.lintPackage(pkg)
 	}
+	a.checkTransitiveTaints()
+	if a.enabled("specpure") {
+		a.checkSpecPure()
+	}
+	if a.enabled("ctxflow") {
+		a.checkCtxFlow()
+	}
+	return sortFindings(a.findings)
+}
+
+// SortFindings orders findings by position then check ID — the order every
+// rabidlint surface (text, -json, -sarif) emits. cmd/rabidlint uses it to
+// merge the escape gate's findings into the static run's.
+func SortFindings(fs []Finding) []Finding { return sortFindings(fs) }
+
+// sortFindings orders findings by position then check ID.
+func sortFindings(fs []Finding) []Finding {
 	sort.Slice(fs, func(i, j int) bool {
 		if fs[i].File != fs[j].File {
 			return fs[i].File < fs[j].File
@@ -96,46 +126,106 @@ func Run(mod *Module, only map[string]bool) []Finding {
 	return fs
 }
 
-// lintPackage runs every check over one package and filters the findings
-// through its //rabid:allow annotations.
-func lintPackage(mod *Module, pkg *Package) []Finding {
-	allows, fs := collectAllows(mod, pkg)
-	p := &pass{mod: mod, pkg: pkg}
-	p.report = func(check string, pos token.Pos, msg string) {
-		position := mod.Fset.Position(pos)
-		file := mod.relFile(position.Filename)
-		if allows.suppressed(check, file, position.Line) {
-			return
-		}
-		p.findings = append(p.findings, Finding{
-			Check: check, File: file, Line: position.Line, Col: position.Column, Message: msg,
-		})
-	}
-	checkMapRange(p)
-	checkWallClock(p)
-	checkGlobalRand(p)
-	checkFloatEq(p)
-	checkNarrowCast(p)
-	checkErrDrop(p)
-	return append(fs, p.findings...)
+// analysis carries the module-wide state of one Run: the call graph, every
+// package's //rabid:allow annotations, and the accumulated findings. The
+// interprocedural checks need allows and the file→package mapping across
+// package boundaries, which the old per-package pass could not see.
+type analysis struct {
+	mod        *Module
+	cg         *CallGraph
+	allows     allowSet
+	pkgByFile  map[string]*Package
+	onlyPkgs   map[string]bool
+	onlyChecks map[string]bool
+	findings   []Finding
 }
 
-// pass carries one package's state through the checks.
+func newAnalysis(mod *Module, onlyPkgs, onlyChecks map[string]bool) *analysis {
+	a := &analysis{
+		mod: mod, allows: allowSet{}, pkgByFile: map[string]*Package{},
+		onlyPkgs: onlyPkgs, onlyChecks: onlyChecks,
+	}
+	for _, pkg := range mod.Pkgs {
+		allows, fs := collectAllows(mod, pkg)
+		for k := range allows {
+			a.allows[k] = true
+		}
+		if a.pkgSelected(pkg) {
+			a.findings = append(a.findings, fs...)
+		}
+		for _, f := range pkg.Files {
+			a.pkgByFile[mod.relFile(mod.Fset.Position(f.Pos()).Filename)] = pkg
+		}
+	}
+	a.cg = BuildCallGraph(mod)
+	return a
+}
+
+func (a *analysis) enabled(check string) bool {
+	return len(a.onlyChecks) == 0 || a.onlyChecks[check]
+}
+
+func (a *analysis) pkgSelected(pkg *Package) bool {
+	return len(a.onlyPkgs) == 0 || a.onlyPkgs[pkg.ImportPath]
+}
+
+// suppressed reports whether a //rabid:allow covers pos for check.
+func (a *analysis) suppressed(check string, pos token.Pos) bool {
+	p := a.mod.Fset.Position(pos)
+	return a.allows.suppressed(check, a.mod.relFile(p.Filename), p.Line)
+}
+
+// report files one finding unless an annotation suppresses it or its
+// package is outside the selection.
+func (a *analysis) report(check string, pos token.Pos, msg string) {
+	position := a.mod.Fset.Position(pos)
+	file := a.mod.relFile(position.Filename)
+	if a.allows.suppressed(check, file, position.Line) {
+		return
+	}
+	if pkg := a.pkgByFile[file]; pkg != nil && !a.pkgSelected(pkg) {
+		return
+	}
+	a.findings = append(a.findings, Finding{
+		Check: check, File: file, Line: position.Line, Col: position.Column, Message: msg,
+	})
+}
+
+// lintPackage runs the intraprocedural checks over one package.
+func (a *analysis) lintPackage(pkg *Package) {
+	if !a.pkgSelected(pkg) {
+		return
+	}
+	p := &pass{mod: a.mod, pkg: pkg, report: a.report}
+	if a.enabled("maprange") {
+		checkMapRange(p)
+	}
+	if a.enabled("wallclock") {
+		checkWallClock(p)
+	}
+	if a.enabled("globalrand") {
+		checkGlobalRand(p)
+	}
+	if a.enabled("floateq") {
+		checkFloatEq(p)
+	}
+	if a.enabled("narrowcast") {
+		checkNarrowCast(p)
+	}
+	if a.enabled("errdrop") {
+		checkErrDrop(p)
+	}
+}
+
+// pass carries one package's state through the intraprocedural checks.
 type pass struct {
-	mod      *Module
-	pkg      *Package
-	report   func(check string, pos token.Pos, msg string)
-	findings []Finding
+	mod    *Module
+	pkg    *Package
+	report func(check string, pos token.Pos, msg string)
 }
 
 // pathElem returns the final element of the package's import path.
-func (p *pass) pathElem() string {
-	ip := p.pkg.ImportPath
-	if i := strings.LastIndexByte(ip, '/'); i >= 0 {
-		return ip[i+1:]
-	}
-	return ip
-}
+func (p *pass) pathElem() string { return pkgElem(p.pkg) }
 
 // allowSet indexes //rabid:allow annotations by (check, file, line). An
 // annotation covers its own line and the line below it, so it can sit as a

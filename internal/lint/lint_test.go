@@ -147,7 +147,8 @@ func TestSelfClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sawLint, sawObs, sawServer, sawCache bool
+	var sawLint, sawObs, sawServer, sawCache, sawJournal bool
+	var sawJobs, sawEdge bool
 	for _, pkg := range mod.Pkgs {
 		switch pkg.ImportPath {
 		case mod.Path + "/internal/lint":
@@ -156,15 +157,29 @@ func TestSelfClean(t *testing.T) {
 			sawObs = true
 		case mod.Path + "/internal/server":
 			sawServer = true
+			for _, f := range pkg.Files {
+				switch filepath.Base(mod.Fset.Position(f.Pos()).Filename) {
+				case "jobs.go":
+					sawJobs = true
+				case "edge.go":
+					sawEdge = true
+				}
+			}
 		case mod.Path + "/internal/cache":
 			sawCache = true
+		case mod.Path + "/internal/journal":
+			sawJournal = true
 		}
 	}
 	if !sawLint || !sawObs {
 		t.Fatalf("self-application must load internal/lint (%v) and internal/obs (%v)", sawLint, sawObs)
 	}
-	if !sawServer || !sawCache {
-		t.Fatalf("self-application must load internal/server (%v) and internal/cache (%v)", sawServer, sawCache)
+	if !sawServer || !sawCache || !sawJournal {
+		t.Fatalf("self-application must load internal/server (%v), internal/cache (%v), and internal/journal (%v)",
+			sawServer, sawCache, sawJournal)
+	}
+	if !sawJobs || !sawEdge {
+		t.Fatalf("self-application must cover the async job runner (jobs.go: %v) and edge telemetry (edge.go: %v)", sawJobs, sawEdge)
 	}
 	for _, f := range Run(mod, nil) {
 		t.Errorf("tree not clean: %s", f)

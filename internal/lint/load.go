@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // buildCtx pins file selection to linux/amd64 regardless of the host, so
@@ -48,6 +50,22 @@ type Package struct {
 	Info       *types.Info
 }
 
+// posLess orders two positions by (file, line, column). Ordering raw
+// token.Pos values is only meaningful within one file: across files it
+// compares FileSet base offsets, which depend on parse registration order —
+// nondeterministic under parallel parsing. Every cross-file comparison in
+// the analyzer goes through here instead.
+func (m *Module) posLess(a, b token.Pos) bool {
+	pa, pb := m.Fset.Position(a), m.Fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}
+
 // relFile returns filename relative to the module root (for stable,
 // machine-comparable findings).
 func (m *Module) relFile(filename string) string {
@@ -57,13 +75,26 @@ func (m *Module) relFile(filename string) string {
 	return filepath.ToSlash(filename)
 }
 
-// Load parses and type-checks every non-test package under root. overlay
-// maps module-root-relative file paths to replacement/extra contents; it
-// exists so tests can seed a violation into a real package without
-// touching the tree. Test files (_test.go) are outside the analyzer's
-// scope: the invariants guarded here are about what ships in results, and
-// tests legitimately poke at clocks and exact floats.
+// Load parses and type-checks every non-test package under root with one
+// parse worker per CPU. overlay maps module-root-relative file paths to
+// replacement/extra contents; it exists so tests can seed a violation into
+// a real package without touching the tree. Test files (_test.go) are
+// outside the analyzer's scope: the invariants guarded here are about what
+// ships in results, and tests legitimately poke at clocks and exact floats.
 func Load(root string, overlay map[string][]byte) (*Module, error) {
+	return LoadWorkers(root, overlay, 0)
+}
+
+// LoadWorkers is Load with an explicit parse worker count (<1 = one per
+// CPU). Parsing is the load-time hot spot and every file is independent, so
+// files parse concurrently into the shared FileSet (which is
+// concurrency-safe); type-checking stays sequential in topological import
+// order, since a package's check needs its dependencies' results. The
+// worker count cannot influence findings: per-file slots keep package file
+// lists in deterministic order, and position ordering across files goes
+// through Module.posLess (file/line/col), never raw FileSet offsets — the
+// only thing parallel parsing perturbs.
+func LoadWorkers(root string, overlay map[string][]byte, workers int) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -84,12 +115,21 @@ func Load(root string, overlay map[string][]byte) (*Module, error) {
 		dirs[filepath.Dir(filepath.Join(root, rel))] = true
 	}
 
-	type parsed struct {
-		pkg     *Package
-		imports map[string]bool
+	// Enumerate every file to parse, in deterministic (sorted dir, sorted
+	// name) order, before any parsing happens.
+	type parseJob struct {
+		ip   string // import path of the enclosing package
+		dir  string
+		full string
+		src  any // overlay contents, or nil to read from disk
 	}
-	byPath := map[string]*parsed{}
+	var dirList []string
 	for dir := range dirs {
+		dirList = append(dirList, dir)
+	}
+	sort.Strings(dirList)
+	var jobs []parseJob
+	for _, dir := range dirList {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			return nil, err
@@ -98,8 +138,6 @@ func Load(root string, overlay map[string][]byte) (*Module, error) {
 		if rel != "." {
 			ip = modPath + "/" + filepath.ToSlash(rel)
 		}
-		p := &parsed{pkg: &Package{ImportPath: ip, Dir: dir}, imports: map[string]bool{}}
-
 		names, err := goFiles(dir)
 		if err != nil {
 			return nil, err
@@ -110,35 +148,56 @@ func Load(root string, overlay map[string][]byte) (*Module, error) {
 			if b, ok := overlay[filepath.ToSlash(filepath.Join(rel, name))]; ok {
 				src = b
 			}
-			f, err := parser.ParseFile(mod.Fset, full, src, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("lint: %w", err)
-			}
-			p.pkg.Files = append(p.pkg.Files, f)
-			for _, imp := range f.Imports {
-				p.imports[strings.Trim(imp.Path.Value, `"`)] = true
-			}
+			jobs = append(jobs, parseJob{ip: ip, dir: dir, full: full, src: src})
 		}
-		// Overlay files that don't exist on disk.
-		for orel, b := range overlay {
+		// Overlay files that don't exist on disk, in sorted path order.
+		var extras []string
+		for orel := range overlay {
 			full := filepath.Join(root, orel)
 			if filepath.Dir(full) != dir {
 				continue
 			}
 			if _, err := os.Stat(full); err == nil {
-				continue // already parsed above with overlay contents
+				continue // already enumerated above with overlay contents
 			}
-			f, err := parser.ParseFile(mod.Fset, full, b, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("lint: %w", err)
-			}
-			p.pkg.Files = append(p.pkg.Files, f)
-			for _, imp := range f.Imports {
-				p.imports[strings.Trim(imp.Path.Value, `"`)] = true
-			}
+			extras = append(extras, orel)
 		}
-		if len(p.pkg.Files) > 0 {
-			byPath[ip] = p
+		sort.Strings(extras)
+		for _, orel := range extras {
+			jobs = append(jobs, parseJob{ip: ip, dir: dir, full: filepath.Join(root, orel), src: overlay[orel]})
+		}
+	}
+
+	// Parse every file concurrently. Each job writes only its own slot;
+	// package assembly below walks the slots in job order, so the resulting
+	// Files lists are identical at every worker count.
+	files := make([]*ast.File, len(jobs))
+	if err := par.ForEach(workers, len(jobs), func(i int) error {
+		f, perr := parser.ParseFile(mod.Fset, jobs[i].full, jobs[i].src, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("lint: %w", perr)
+		}
+		files[i] = f
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	type parsed struct {
+		pkg     *Package
+		imports map[string]bool
+	}
+	byPath := map[string]*parsed{}
+	for i, job := range jobs {
+		p := byPath[job.ip]
+		if p == nil {
+			p = &parsed{pkg: &Package{ImportPath: job.ip, Dir: job.dir}, imports: map[string]bool{}}
+			byPath[job.ip] = p
+		}
+		f := files[i]
+		p.pkg.Files = append(p.pkg.Files, f)
+		for _, imp := range f.Imports {
+			p.imports[strings.Trim(imp.Path.Value, `"`)] = true
 		}
 	}
 

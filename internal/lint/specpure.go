@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// specpure.go machine-checks the PR 6 commit-protocol invariant: during
+// route.Parallel's speculation phase, workers route read-only against the
+// shared tile.Graph — every graph mutation happens in the serial commit
+// loop. The runtime suites prove it for the circuits they run; this check
+// proves it for every path the compiler can see:
+//
+//  1. The *mutating methods* of tile.Graph are discovered by
+//     receiver-mutation analysis, not a hardcoded list: a method mutates
+//     when it assigns through its receiver (field writes, element writes,
+//     ++/--), hands a receiver-rooted slice/map to copy/append-into-self or
+//     delete, or calls another mutating method on the receiver (fixpoint).
+//  2. The *speculation phase* is seeded semantically: every function that
+//     arms workspace speculation — an assignment of `true` to the
+//     `spec.active` field of a route Workspace — is an entry point
+//     (route.rerouteSpec today; renaming it cannot silently disable the
+//     check, only removing the arming write can, and that write IS the
+//     speculation mechanism).
+//  3. Forward reachability from the seeds over the call graph: any
+//     unsuppressed call site that reaches a mutating tile.Graph method is
+//     reported with the full path from the seed.
+//
+// Soundness limits (shared with the rest of the interprocedural layer):
+// function values crossing function boundaries (route.Options.Weight) are
+// not tracked — ReduceCongestion already forces the sequential kernel when
+// a Weight hook is set, so the untracked path cannot reach speculation.
+
+// graphMutation is one direct receiver mutation inside a method.
+type graphMutation struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// checkSpecPure wires the three phases together.
+func (a *analysis) checkSpecPure() {
+	mutators := a.graphMutators()
+	if len(mutators) == 0 {
+		return
+	}
+	seeds := a.specSeeds()
+	if len(seeds) == 0 {
+		return
+	}
+	a.reportSpecReach(seeds, mutators)
+}
+
+// tileGraphType locates the tile.Graph type in the loaded module (package
+// path element "tile", type name "Graph"), or nil when the module has none
+// (the corpus defines its own miniature).
+func (a *analysis) tileGraphType() *types.Named {
+	for _, pkg := range a.mod.Pkgs {
+		if pkgElem(pkg) != "tile" {
+			continue
+		}
+		if tn, ok := pkg.Types.Scope().Lookup("Graph").(*types.TypeName); ok {
+			if named, ok := tn.Type().(*types.Named); ok {
+				return named
+			}
+		}
+	}
+	return nil
+}
+
+// graphMutators returns every tile.Graph method that (transitively through
+// receiver method calls) mutates its receiver, with the position of one
+// witness mutation.
+func (a *analysis) graphMutators() map[*types.Func]token.Pos {
+	graph := a.tileGraphType()
+	if graph == nil {
+		return nil
+	}
+	// Collect the graph's module-declared methods and analyze each body.
+	methods := map[*types.Func]*specMethodInfo{}
+	for _, n := range a.cg.nodeList {
+		sig, ok := n.Fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		rt := sig.Recv().Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); !ok || named.Obj() != graph.Obj() {
+			continue
+		}
+		mi := &specMethodInfo{node: n}
+		methods[n.Fn] = mi
+		a.analyzeReceiverMutation(n, mi)
+	}
+	// Fixpoint: a method calling a mutating method on its receiver mutates.
+	// Membership first (the closure is order-independent), witnesses after,
+	// so the reported positions never depend on map iteration order.
+	mutating := map[*types.Func]bool{}
+	for fn, mi := range methods {
+		if mi.direct.IsValid() {
+			mutating[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, mi := range methods {
+			if mutating[fn] {
+				continue
+			}
+			for _, callee := range mi.recvCalls {
+				if mutating[callee] {
+					mutating[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	out := map[*types.Func]token.Pos{}
+	for fn, mi := range methods {
+		if !mutating[fn] {
+			continue
+		}
+		if mi.direct.IsValid() {
+			out[fn] = mi.direct
+			continue
+		}
+		for i, callee := range mi.recvCalls { // source order: first hit is the witness
+			if mutating[callee] {
+				out[fn] = mi.recvPos[i]
+				break
+			}
+		}
+	}
+	return out
+}
+
+// specMethodInfo is the per-method scratch of the receiver-mutation
+// analysis.
+type specMethodInfo struct {
+	node      *FuncNode
+	direct    token.Pos     // first direct receiver mutation (NoPos = none)
+	recvCalls []*types.Func // methods invoked on the receiver
+	recvPos   []token.Pos   // matching call positions
+}
+
+// analyzeReceiverMutation fills mi with n's direct receiver mutations and
+// receiver method calls.
+func (a *analysis) analyzeReceiverMutation(n *FuncNode, mi *specMethodInfo) {
+	recv := receiverObject(n)
+	if recv == nil {
+		return // unnamed receiver cannot be mutated through
+	}
+	info := n.Pkg.Info
+	rooted := func(e ast.Expr) bool { return rootObject(info, e) == recv }
+	note := func(pos token.Pos) {
+		if !mi.direct.IsValid() || pos < mi.direct {
+			mi.direct = pos
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range nd.Lhs {
+				if rooted(lhs) {
+					note(lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if rooted(nd.X) {
+				note(nd.X.Pos())
+			}
+		case *ast.CallExpr:
+			fun := ast.Unparen(nd.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					// copy(recv.f, …) and delete(recv.m, …) mutate in place.
+					if (b.Name() == "copy" || b.Name() == "delete") && len(nd.Args) > 0 && rooted(nd.Args[0]) {
+						note(nd.Pos())
+					}
+				}
+			}
+			if sel, ok := fun.(*ast.SelectorExpr); ok && rooted(sel.X) {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+					mi.recvCalls = append(mi.recvCalls, fn)
+					mi.recvPos = append(mi.recvPos, nd.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// receiverObject returns the types.Var of n's named receiver, or nil.
+func receiverObject(n *FuncNode) types.Object {
+	if n.Decl.Recv == nil || len(n.Decl.Recv.List) == 0 || len(n.Decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return n.Pkg.Info.Defs[n.Decl.Recv.List[0].Names[0]]
+}
+
+// rootObject strips selectors, indexing, derefs, and parens down to the
+// base identifier's object: the thing an assignment ultimately writes into.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// specSeeds finds the speculation entry points: functions whose body arms
+// workspace speculation by assigning true into a Workspace's spec.active
+// field (package element "route", receiver type name "Workspace").
+func (a *analysis) specSeeds() []*FuncNode {
+	var seeds []*FuncNode
+	for _, n := range a.cg.nodeList {
+		if pkgElem(n.Pkg) != "route" {
+			continue
+		}
+		info := n.Pkg.Info
+		armed := false
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			as, ok := nd.(*ast.AssignStmt)
+			if !ok || armed {
+				return !armed
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if id, ok := as.Rhs[i].(*ast.Ident); !ok || id.Name != "true" {
+					continue
+				}
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "active" {
+					continue
+				}
+				inner, ok := sel.X.(*ast.SelectorExpr)
+				if !ok || inner.Sel.Name != "spec" {
+					continue
+				}
+				t := info.TypeOf(inner.X)
+				if t == nil {
+					continue
+				}
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Workspace" {
+					armed = true
+				}
+			}
+			return !armed
+		})
+		if armed {
+			seeds = append(seeds, n)
+		}
+	}
+	return seeds
+}
+
+// reportSpecReach walks forward from the seeds and reports every
+// unsuppressed call site that invokes a mutating tile.Graph method from a
+// speculation-reachable function, with the full path from the seed.
+func (a *analysis) reportSpecReach(seeds []*FuncNode, mutators map[*types.Func]token.Pos) {
+	// BFS distances from the seed set; parent pointers reconstruct paths
+	// deterministically (strictly decreasing distance, smallest position
+	// wins ties).
+	dist := map[*types.Func]int{}
+	type parentEdge struct {
+		caller *types.Func
+		pos    token.Pos
+	}
+	parent := map[*types.Func]parentEdge{}
+	for _, s := range seeds {
+		dist[s.Fn] = 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range a.cg.nodeList {
+			d, ok := dist[n.Fn]
+			if !ok {
+				continue
+			}
+			for _, cs := range n.Calls {
+				if _, isMut := mutators[cs.Callee]; isMut {
+					continue // findings, not traversal
+				}
+				if a.suppressed("specpure", cs.Pos) {
+					continue
+				}
+				if cd, ok := dist[cs.Callee]; !ok || d+1 < cd {
+					dist[cs.Callee] = d + 1
+					changed = true
+				}
+			}
+		}
+	}
+	for _, n := range a.cg.nodeList {
+		d, ok := dist[n.Fn]
+		if !ok {
+			continue
+		}
+		for _, cs := range n.Calls {
+			if cd, ok := dist[cs.Callee]; ok && cd == d+1 {
+				// Candidate parents live in different files; order by
+				// file/line/col, not raw Pos (see Module.posLess).
+				if pe, ok := parent[cs.Callee]; !ok || a.mod.posLess(cs.Pos, pe.pos) {
+					parent[cs.Callee] = parentEdge{caller: n.Fn, pos: cs.Pos}
+				}
+			}
+		}
+	}
+	path := func(fn *types.Func) string {
+		parts := []string{a.cg.shortFunc(fn)}
+		for cur := fn; dist[cur] > 0; {
+			pe := parent[cur]
+			parts = append([]string{a.cg.shortFunc(pe.caller)}, parts...)
+			cur = pe.caller
+		}
+		return joinPath(parts)
+	}
+	for _, n := range a.cg.nodeList {
+		if _, ok := dist[n.Fn]; !ok {
+			continue
+		}
+		for _, cs := range n.Calls {
+			mpos, isMut := mutators[cs.Callee]
+			if !isMut {
+				continue
+			}
+			mw := a.mod.Fset.Position(mpos)
+			a.report("specpure", cs.Pos, fmt.Sprintf(
+				"speculation phase reaches graph mutation %s (mutates its receiver at %s:%d): %s → %s; "+
+					"speculative routing must be read-only on the shared graph — move the mutation to the "+
+					"commit loop (or annotate: //rabid:allow specpure <reason>)",
+				a.cg.shortFunc(cs.Callee), a.mod.relFile(mw.Filename), mw.Line,
+				path(n.Fn), a.cg.shortFunc(cs.Callee)))
+		}
+	}
+}
+
+func joinPath(parts []string) string {
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += " → " + p
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// taint.go re-grounds the wallclock, globalrand, and maprange checks as
+// transitive call-graph properties. The intraprocedural checks in checks.go
+// see one function body at a time, so a wall-clock read hidden behind a
+// module-internal wrapper — or a map iteration inside a helper package —
+// reaches results without a finding. Here each invariant becomes a taint:
+//
+//   - a function is *directly* tainted when its own body performs the
+//     primitive (an unsuppressed time.Now call, a global math/rand draw, a
+//     raw map range);
+//   - taint propagates callee→caller through the call graph, except
+//     through call sites suppressed by //rabid:allow — a blessed call site
+//     documents why the callee is safe from there, so callers above it
+//     stay clean;
+//   - exempt packages never become tainted (internal/obs owns the gated
+//     clock; the telemetry/rendering layers may range maps freely).
+//
+// A function tainted only transitively is reported once, at its earliest
+// call site into the tainted region, with the full call path down to the
+// leaf primitive ("a → b → time.Now"). Directly tainted functions are NOT
+// re-reported here — the leaf checks already put a finding on the exact
+// primitive line.
+
+// taintInfo records how one function became tainted.
+type taintInfo struct {
+	// depth is the call distance to the leaf primitive (0 = in this body).
+	depth int
+	// via is the callee the witness call site targets (nil for depth 0).
+	via *types.Func
+	// pos is the witness: the primitive itself at depth 0, else the call
+	// site into the tainted region.
+	pos token.Pos
+	// leaf names the primitive ("time.Now", "rand.Intn", "range over map").
+	leaf string
+}
+
+type taintMap map[*types.Func]*taintInfo
+
+// orderExempt lists the final import-path elements of packages whose map
+// iteration is confined to aggregates and sorted rendering — they never
+// become maprange taint sources, mirroring the rationale for
+// resultAffecting in checks.go. Every other package (including helper
+// libraries like tile, geom, or netlist that the direct check skips) taints
+// its callers: a map range in a geometry helper is exactly the
+// interprocedural hole this file closes.
+var orderExempt = map[string]bool{
+	"obs": true, "viz": true, "textable": true, "exp": true, "lint": true,
+}
+
+// pkgElem returns the final element of a package's import path.
+func pkgElem(pkg *Package) string {
+	ip := pkg.ImportPath
+	if i := strings.LastIndexByte(ip, '/'); i >= 0 {
+		return ip[i+1:]
+	}
+	return ip
+}
+
+// computeTaint runs the taint fixpoint for one check. direct reports a
+// node's own primitive (already suppression-filtered); exempt nodes never
+// taint. Depths are the Bellman-Ford fixpoint of
+// depth(f) = 1 + min(depth(callee)) over unsuppressed call sites, so the
+// witness chain strictly decreases in depth and path reconstruction
+// terminates; ties pick the smallest source position — fully deterministic.
+func (a *analysis) computeTaint(check string, direct func(*FuncNode) (token.Pos, string, bool), exempt func(*FuncNode) bool) taintMap {
+	tm := taintMap{}
+	for _, n := range a.cg.nodeList {
+		if exempt != nil && exempt(n) {
+			continue
+		}
+		if pos, leaf, ok := direct(n); ok {
+			tm[n.Fn] = &taintInfo{depth: 0, pos: pos, leaf: leaf}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range a.cg.nodeList {
+			if exempt != nil && exempt(n) {
+				continue
+			}
+			cur := tm[n.Fn]
+			if cur != nil && cur.depth == 0 {
+				continue
+			}
+			best := -1
+			for _, cs := range n.Calls {
+				ct := tm[cs.Callee]
+				if ct == nil || a.suppressed(check, cs.Pos) {
+					continue
+				}
+				if best < 0 || ct.depth+1 < best {
+					best = ct.depth + 1
+				}
+			}
+			if best > 0 && (cur == nil || best < cur.depth) {
+				tm[n.Fn] = &taintInfo{depth: best}
+				changed = true
+			}
+		}
+	}
+	// Witnesses: the smallest-position call site into depth-1.
+	for _, n := range a.cg.nodeList {
+		t := tm[n.Fn]
+		if t == nil || t.depth == 0 {
+			continue
+		}
+		for _, cs := range n.Calls {
+			ct := tm[cs.Callee]
+			if ct == nil || ct.depth != t.depth-1 || a.suppressed(check, cs.Pos) {
+				continue
+			}
+			if t.via == nil || cs.Pos < t.pos {
+				t.via, t.pos = cs.Callee, cs.Pos
+			}
+		}
+	}
+	return tm
+}
+
+// taintPath renders the witness chain from fn down to the leaf primitive.
+func (a *analysis) taintPath(tm taintMap, fn *types.Func) string {
+	parts := []string{a.cg.shortFunc(fn)}
+	for t := tm[fn]; ; {
+		if t.via == nil {
+			parts = append(parts, t.leaf)
+			break
+		}
+		parts = append(parts, a.cg.shortFunc(t.via))
+		t = tm[t.via]
+	}
+	return strings.Join(parts, " → ")
+}
+
+// directExts builds a direct-source detector over external calls: the first
+// unsuppressed call matching sources (qualified name → leaf label) taints.
+func (a *analysis) directExts(check string, sources map[string]string) func(*FuncNode) (token.Pos, string, bool) {
+	return func(n *FuncNode) (token.Pos, string, bool) {
+		for _, ext := range n.Exts {
+			leaf, ok := sources[ext.Name]
+			if !ok || a.suppressed(check, ext.Pos) {
+				continue
+			}
+			return ext.Pos, leaf, true
+		}
+		return token.NoPos, "", false
+	}
+}
+
+// checkTransitiveTaints runs the three re-grounded invariants over the call
+// graph and reports transitive findings with full call paths.
+func (a *analysis) checkTransitiveTaints() {
+	if a.enabled("wallclock") {
+		tm := a.computeTaint("wallclock",
+			a.directExts("wallclock", map[string]string{
+				"time.Now": "time.Now", "time.Since": "time.Since",
+			}),
+			func(n *FuncNode) bool { return clockExempt[pkgElem(n.Pkg)] })
+		a.reportTaint("wallclock", tm,
+			func(n *FuncNode) bool { return !clockExempt[pkgElem(n.Pkg)] },
+			"reaches the wall clock through module-internal calls",
+			"route the timing through the gated clock (obs.Now/obs.Since)")
+	}
+	if a.enabled("globalrand") {
+		sources := map[string]string{}
+		for fn := range globalRandFuncs {
+			sources["math/rand."+fn] = "rand." + fn
+		}
+		tm := a.computeTaint("globalrand", a.directExts("globalrand", sources), nil)
+		a.reportTaint("globalrand", tm,
+			func(n *FuncNode) bool { return true },
+			"reaches the shared global math/rand source through module-internal calls",
+			"thread a seeded *rand.Rand instead")
+	}
+	if a.enabled("maprange") {
+		direct := func(n *FuncNode) (token.Pos, string, bool) {
+			for _, pos := range n.MapRanges {
+				if a.suppressed("maprange", pos) {
+					continue
+				}
+				return pos, "range over map", true
+			}
+			return token.NoPos, "", false
+		}
+		tm := a.computeTaint("maprange", direct,
+			func(n *FuncNode) bool { return orderExempt[pkgElem(n.Pkg)] })
+		a.reportTaint("maprange", tm,
+			func(n *FuncNode) bool { return resultAffecting[pkgElem(n.Pkg)] },
+			"iterates a map in nondeterministic order through module-internal calls",
+			"collect and sort the keys at the source")
+	}
+}
+
+// reportTaint emits one finding per transitively tainted reportable
+// function, at its witness call site, carrying the full call path.
+func (a *analysis) reportTaint(check string, tm taintMap, reportable func(*FuncNode) bool, what, remedy string) {
+	for _, n := range a.cg.nodeList {
+		t := tm[n.Fn]
+		if t == nil || t.via == nil || !reportable(n) {
+			continue
+		}
+		a.report(check, t.pos, fmt.Sprintf(
+			"%s %s: %s; %s (or annotate: //rabid:allow %s <reason>)",
+			a.cg.shortFunc(n.Fn), what, a.taintPath(tm, n.Fn), remedy, check))
+	}
+}

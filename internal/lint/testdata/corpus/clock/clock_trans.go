@@ -1,0 +1,20 @@
+package clock
+
+import "time"
+
+// hiddenNow wraps the clock read: the leaf line is the direct finding.
+func hiddenNow() time.Time {
+	return time.Now() // want:wallclock
+}
+
+// Hidden reaches the clock one call deep: reported transitively, with the
+// full call path in the message.
+func Hidden() time.Time {
+	return hiddenNow() // want:wallclock
+}
+
+// Blessed suppresses at the call site: the annotation stops propagation,
+// so this caller stays clean.
+func Blessed() time.Time {
+	return hiddenNow() //rabid:allow wallclock corpus: caller tolerates wall time, documented here
+}

@@ -1,0 +1,13 @@
+// Command demo: main packages own the process root context, so
+// originating one here is not a finding.
+package main
+
+import "context"
+
+func main() {
+	_ = run(context.Background())
+}
+
+func run(ctx context.Context) error {
+	return ctx.Err()
+}

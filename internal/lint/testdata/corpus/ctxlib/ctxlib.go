@@ -1,0 +1,35 @@
+// Package ctxlib exercises the three ctxflow rules.
+package ctxlib
+
+import "context"
+
+// UsesParam passes its ctx through: clean.
+func UsesParam(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// SwapsCtx takes a ctx but hands a fresh root to its callee: rule 1.
+func SwapsCtx(ctx context.Context) error {
+	return work(context.Background()) // want:ctxflow
+}
+
+// freshRoot originates a root context in a library package: rule 2.
+func freshRoot() context.Context {
+	return context.Background() // want:ctxflow
+}
+
+// blessedRoot is the annotated wrapper rule 2 permits: kept for
+// context-free callers.
+func blessedRoot() context.Context {
+	return context.Background() //rabid:allow ctxflow corpus: wrapper kept for context-free callers
+}
+
+// DropsCtx holds a ctx but routes around it through the blessed wrapper:
+// rule 3 sees through the wrapper's annotation on purpose.
+func DropsCtx(ctx context.Context) error {
+	return work(blessedRoot()) // want:ctxflow
+}

@@ -1,0 +1,26 @@
+// Package esc is the escape-gate corpus: TestEscapeGate points a
+// temporary hot-set manifest at these functions and asserts the compiler
+// diagnostics map onto findings correctly. The "escwant" marker tags the
+// line the seeded escape must be reported on (a distinct marker from
+// "want:" so TestCorpusFindings, which only runs the static checks,
+// ignores it).
+package esc
+
+// Leak returns a fresh slice: the heap escape the gate must flag.
+func Leak(n int) []int {
+	return make([]int, n) // escwant
+}
+
+// Sum is allocation-free: in the hot set, no finding.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Baselined allocates deliberately, with the annotation the gate honors.
+func Baselined(n int) []int {
+	return make([]int, n) //rabid:allow allocfree corpus: deliberate allocation, baselined for the gate test
+}

@@ -1,0 +1,14 @@
+// Package geomlib mimics a helper library outside the result-affecting
+// set: its raw map range is not a direct finding, but it is a maprange
+// taint source, so result-affecting callers are reported transitively.
+package geomlib
+
+// SumValues folds a map in hash order. No direct finding here — geomlib is
+// not result-affecting — but any route/core caller inherits the taint.
+func SumValues(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

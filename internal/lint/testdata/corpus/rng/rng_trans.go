@@ -1,0 +1,14 @@
+package rng
+
+import "math/rand"
+
+// hiddenDraw wraps the global source: the leaf line is the direct finding.
+func hiddenDraw() int {
+	return rand.Intn(6) // want:globalrand
+}
+
+// HiddenDraw reaches the global source one call deep: reported
+// transitively with the full call path.
+func HiddenDraw() int {
+	return hiddenDraw() // want:globalrand
+}

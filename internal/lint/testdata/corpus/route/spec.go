@@ -1,0 +1,31 @@
+package route
+
+import "corpus/tile"
+
+// Workspace mirrors the real workspace's speculation-arming field: the
+// assignment of true into spec.active below is what makes armSpec a
+// specpure seed — no function name is hardcoded anywhere.
+type Workspace struct {
+	spec struct {
+		active bool
+	}
+}
+
+// armSpec arms speculation and fans out: everything it reaches must be
+// read-only on the shared graph.
+func armSpec(ws *Workspace, g *tile.Graph) {
+	ws.spec.active = true
+	specHelper(g)
+	specReader(g)
+}
+
+// specHelper mutates the shared graph from the speculation phase: the
+// finding lands on the mutator call with the full path from the seed.
+func specHelper(g *tile.Graph) {
+	g.AddWire(0) // want:specpure
+}
+
+// specReader only reads: reachable, clean.
+func specReader(g *tile.Graph) {
+	_ = g.Usage(0)
+}

@@ -1,0 +1,15 @@
+package route
+
+import "corpus/geomlib"
+
+// UsesHelper launders a map iteration through a helper package: the
+// intraprocedural check cannot see it, the call-graph taint can.
+func UsesHelper(m map[int]float64) float64 {
+	return geomlib.SumValues(m) // want:maprange
+}
+
+// UsesHelperBlessed suppresses at the call site: the annotation documents
+// why hash order is safe from here, and the taint stops.
+func UsesHelperBlessed(m map[int]float64) float64 {
+	return geomlib.SumValues(m) //rabid:allow maprange corpus: result is order-independent (pure sum)
+}

@@ -1,0 +1,27 @@
+// Package tile is a miniature of the real tile graph: specpure discovers
+// its mutating methods by receiver-mutation analysis, not by name.
+package tile
+
+// Graph is a minimal mutable graph.
+type Graph struct {
+	use  []int
+	wire int
+}
+
+// AddWire mutates the receiver directly (element write) and through a
+// receiver method call (bump) — either alone marks it mutating.
+func (g *Graph) AddWire(e int) {
+	g.use[e]++
+	g.bump()
+}
+
+// bump mutates through a plain field write: the fixpoint also marks every
+// method that calls it on the receiver.
+func (g *Graph) bump() {
+	g.wire++
+}
+
+// Usage is read-only: reachable from speculation without findings.
+func (g *Graph) Usage(e int) int {
+	return g.use[e]
+}

@@ -38,7 +38,7 @@ func Workers(n int) int {
 // whole pool. With a single worker (or a single item) fn runs inline on
 // the calling goroutine in index order.
 func ForEach(workers, n int, fn func(i int) error) error {
-	return ForEachCtx(context.Background(), workers, n, fn)
+	return ForEachCtx(context.Background(), workers, n, fn) //rabid:allow ctxflow ForEach is the documented uncancellable variant of ForEachCtx for fan-outs that must run to completion; ctx-holding callers use ForEachCtx
 }
 
 // ForEachCtx is ForEach with cooperative cancellation: once ctx is done no

@@ -129,11 +129,11 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.
 	}
 	src := n.Source.Tile
 	if !g.InGrid(src) {
-		return nil, fmt.Errorf("route: net %d source %v outside grid", n.ID, src)
+		return nil, fmt.Errorf("route: net %d source %v outside grid", n.ID, src) //rabid:allow allocfree cold abort path: fmt argument boxing only when the route fails
 	}
 	nt := g.NumTiles()
-	ws.begin(g.NumEdges())
-	ws.growTiles(nt)
+	ws.begin(g.NumEdges()) //rabid:allow allocfree inlined grow path: begin reallocates edge scratch only when the graph outgrows the workspace
+	ws.growTiles(nt)       //rabid:allow allocfree inlined grow path: tile scratch reallocates only when the graph outgrows the workspace
 	if ws.spec.active {
 		// Speculative reroute: stamp the net's own old wires so
 		// specEdgeCost can price them at usage-1 (the sequential kernel
@@ -147,7 +147,7 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.
 	remaining := 0
 	for _, s := range n.Sinks {
 		if !g.InGrid(s.Tile) {
-			return nil, fmt.Errorf("route: net %d sink %v outside grid", n.ID, s.Tile)
+			return nil, fmt.Errorf("route: net %d sink %v outside grid", n.ID, s.Tile) //rabid:allow allocfree cold abort path: fmt argument boxing only when the route fails
 		}
 		if ti := g.TileIndex(s.Tile); ws.wantStamp[ti] != ep {
 			ws.wantStamp[ti] = ep
@@ -217,7 +217,7 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.pushes", Stage: opt.Stage, Net: n.ID, Value: float64(pushes)})
 	}
 	if remaining > 0 {
-		return nil, fmt.Errorf("route: net %d: %d sinks unreachable", n.ID, remaining)
+		return nil, fmt.Errorf("route: net %d: %d sinks unreachable", n.ID, remaining) //rabid:allow allocfree cold abort path: fmt argument boxing only when the route fails
 	}
 	// Trace each sink back to the source; the union of predecessor paths is
 	// a tree because every node has one predecessor. parent[v] (valid while
@@ -243,7 +243,7 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.
 	slices.Sort(tb)
 	ws.touched = tb
 
-	rt := ws.takeTree()
+	rt := ws.takeTree() //rabid:allow allocfree fresh tree only when the recycle pool is empty; the steady state reuses storage returned through Recycle
 	rt.Tile = append(rt.Tile, src)
 	rt.Parent = append(rt.Parent, -1)
 	ws.nstamp[srcIdx] = ep
@@ -325,7 +325,7 @@ func AddUsage(g *tile.Graph, rt *rtree.Tree) {
 		a, b := rt.Tile[rt.Parent[v]], rt.Tile[v]
 		e, ok := g.EdgeBetween(a, b)
 		if !ok {
-			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", a, b))
+			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", a, b)) //rabid:allow allocfree panic path: boxing only when a corrupted tree violates the grid invariant
 		}
 		g.AddWire(e)
 	}
@@ -337,7 +337,7 @@ func RemoveUsage(g *tile.Graph, rt *rtree.Tree) {
 		a, b := rt.Tile[rt.Parent[v]], rt.Tile[v]
 		e, ok := g.EdgeBetween(a, b)
 		if !ok {
-			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", a, b))
+			panic(fmt.Sprintf("route: tree edge %v-%v not a grid edge", a, b)) //rabid:allow allocfree panic path: boxing only when a corrupted tree violates the grid invariant
 		}
 		g.RemoveWire(e)
 	}
@@ -374,8 +374,8 @@ func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order [
 		RemoveUsage(g, old)
 		rt, err := Reroute(g, nets[i], opt, ws)
 		if err != nil {
-			AddUsage(g, old) // restore before failing
-			return committed, fmt.Errorf("route: rip-up pass failed at net %d after %d of %d commits: %w",
+			AddUsage(g, old)                                                                               // restore before failing
+			return committed, fmt.Errorf("route: rip-up pass failed at net %d after %d of %d commits: %w", //rabid:allow allocfree cold abort path: fmt argument boxing only when the pass fails
 				nets[i].ID, committed, len(order), err)
 		}
 		routes[i] = rt
@@ -411,7 +411,7 @@ func RipupPass(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order [
 // Options.Weight hook, which the speculative cost model cannot see
 // through) runs the sequential kernel.
 func ReduceCongestion(g *tile.Graph, nets []*netlist.Net, routes []*rtree.Tree, order []int, maxPasses int, opt Options, ws *Workspace, px *Parallel) (int, error) {
-	return ReduceCongestionCtx(context.Background(), g, nets, routes, order, maxPasses, opt, ws, px)
+	return ReduceCongestionCtx(context.Background(), g, nets, routes, order, maxPasses, opt, ws, px) //rabid:allow ctxflow ReduceCongestion is the documented Background wrapper over ReduceCongestionCtx for context-free callers; core.RunContext calls the Ctx variant
 }
 
 // ReduceCongestionCtx is ReduceCongestion with a cancellation checkpoint at
@@ -524,21 +524,21 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked []bool, o
 		ws = NewWorkspace()
 	}
 	if L < 1 {
-		return nil, fmt.Errorf("route: length constraint %d < 1", L)
+		return nil, fmt.Errorf("route: length constraint %d < 1", L) //rabid:allow allocfree cold abort path: fmt argument boxing only on invalid input
 	}
 	if !g.InGrid(tail) || !g.InGrid(head) {
-		return nil, fmt.Errorf("route: endpoints %v,%v outside grid", tail, head)
+		return nil, fmt.Errorf("route: endpoints %v,%v outside grid", tail, head) //rabid:allow allocfree cold abort path: fmt argument boxing only on invalid input
 	}
 	nt := g.NumTiles()
 	// The (tile, j) state space is indexed by int32 predecessor labels; a
 	// large grid times a large L would silently wrap the labels and corrupt
 	// the traceback, so the size is guarded up front (before allocation).
 	if int64(nt)*int64(L) > math.MaxInt32 {
-		return nil, fmt.Errorf("route: DP state space %d tiles x L=%d = %d exceeds %d states",
+		return nil, fmt.Errorf("route: DP state space %d tiles x L=%d = %d exceeds %d states", //rabid:allow allocfree cold abort path: fmt argument boxing only when the guard rejects the instance
 			nt, L, int64(nt)*int64(L), int64(math.MaxInt32))
 	}
-	ws.begin(g.NumEdges())
-	ws.growStates(nt * L)
+	ws.begin(g.NumEdges()) //rabid:allow allocfree inlined grow path: begin reallocates edge scratch only when the graph outgrows the workspace
+	ws.growStates(nt * L)  //rabid:allow allocfree inlined grow path: DP state scratch reallocates only when tiles*L outgrows the workspace
 	ep := ws.epoch
 	start := g.TileIndex(tail) * L // state (tail, 0)
 	ws.sStamp[start] = ep
@@ -618,7 +618,7 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked []bool, o
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.bap.pushes", Stage: opt.Stage, Net: -1, Value: float64(pushes)})
 	}
 	if goal < 0 {
-		return nil, fmt.Errorf("route: no reconnection from %v to %v", tail, head)
+		return nil, fmt.Errorf("route: no reconnection from %v to %v", tail, head) //rabid:allow allocfree cold abort path: fmt argument boxing only when no path exists
 	}
 	rev := ws.path[:0]
 	for s := goal; s != -1; s = int(ws.sPred[s]) {
