@@ -8,6 +8,7 @@
 package rabid
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -172,6 +173,31 @@ func BenchmarkRunSuite(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkBackendPlan compares the three planning engines on coarse apte
+// — the backend registry's cross-engine cost picture (ns/op per engine is
+// the CPU column of the Table VI comparison). Sub-benchmarks are named by
+// engine; scripts/bench_compare.sh snapshots them into BENCH_route.json.
+func BenchmarkBackendPlan(b *testing.B) {
+	g := coarseGrids["apte"]
+	c, err := GenerateBenchmark("apte", GenOptions{GridW: g[0], GridH: g[1]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range Backends() {
+		b.Run(name, func(b *testing.B) {
+			p := BenchmarkParams("apte")
+			p.Backend = name
+			p.Workers = 1
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Plan(context.Background(), c, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -10,6 +10,12 @@
 //	rabid -circuit my.json                 # run a circuit from JSON
 //	rabid -bench apte -twopin              # two-pin decomposition (Table V)
 //
+// Planning backends (see DESIGN.md "Planning backends"):
+//
+//	rabid -bench apte -backend rabid+lib   # buffer-library Stage-3 DP
+//	rabid -bench apte -backend mcf         # multicommodity-flow engine
+//	rabid -bench apte -backend rabid+lib -library lib.json  # custom library
+//
 // Telemetry and profiling:
 //
 //	rabid -bench apte -events run.jsonl    # structured event trace (JSON lines)
@@ -21,9 +27,12 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	rabid "repro"
 	"repro/internal/textable"
@@ -41,6 +50,8 @@ type config struct {
 	alpha          float64
 	passes         int
 	workers        int
+	backend        string
+	library        string
 	svgOut         string
 	heat           bool
 	jsonOut        string
@@ -65,6 +76,8 @@ func main() {
 	flag.Float64Var(&cfg.alpha, "alpha", 0.4, "Prim-Dijkstra radius/wirelength tradeoff")
 	flag.IntVar(&cfg.passes, "passes", 3, "maximum Stage-2 rip-up-and-reroute passes")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines for the per-net stages (0 = all CPUs; results are identical for every value)")
+	flag.StringVar(&cfg.backend, "backend", "", "planning engine: "+strings.Join(rabid.Backends(), ", ")+" (default rabid)")
+	flag.StringVar(&cfg.library, "library", "", "buffer-library JSON file for -backend rabid+lib: out_res in ohms, in_cap in farads, intrinsic in seconds (default: the built-in 0.18 um library)")
 	flag.StringVar(&cfg.svgOut, "svg", "", "write an SVG of the final plan (blocks, congestion, routes, buffers)")
 	flag.BoolVar(&cfg.heat, "heat", false, "print ASCII wire-congestion and buffer-density maps")
 	flag.BoolVar(&cfg.annealed, "annealed", false, "place benchmark blocks with the simulated annealer instead of guillotine packing")
@@ -92,6 +105,19 @@ func run(cfg config) (err error) {
 	params.RouteOpt.Alpha = cfg.alpha
 	params.MaxRipupPasses = cfg.passes
 	params.Workers = cfg.workers
+	params.Backend = cfg.backend
+	if cfg.library != "" {
+		b, err := os.ReadFile(cfg.library)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(b, &params.Library); err != nil {
+			return fmt.Errorf("parsing -library %s: %w", cfg.library, err)
+		}
+	}
+	if params, err = rabid.NormalizeParams(params); err != nil {
+		return err
+	}
 	if cfg.twopin {
 		c = c.DecomposeTwoPin()
 	}
@@ -128,7 +154,10 @@ func run(cfg config) (err error) {
 
 	fmt.Printf("circuit %s: %d nets, %d sinks, %dx%d tiles of %.0f um, %d buffer sites\n",
 		c.Name, len(c.Nets), c.TotalSinks(), c.GridW, c.GridH, c.TileUm, c.TotalBufferSites())
-	res, err := rabid.Run(c, params)
+	if desc, ok := rabid.DescribeBackend(params.Backend); ok {
+		fmt.Printf("backend %s: %s\n", params.Backend, desc)
+	}
+	res, err := rabid.Plan(context.Background(), c, params)
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	tables            # all of Tables I-V (several minutes)
+//	tables            # all of Tables I-VI (several minutes)
 //	tables -table 2   # one table
 //
 // Progress is logged to stderr; tables print to stdout.
@@ -31,11 +31,12 @@ var titles = map[int]string{
 	3: "Table III: varying the number of available buffer sites",
 	4: "Table IV: varying grid sizes for three CBL benchmarks",
 	5: "Table V: comparison of RABID to BBP/FR",
+	6: "Table VI: planning-backend comparison (rabid / rabid+lib / mcf; coarse tiling)",
 }
 
 func main() {
 	var (
-		table      = flag.Int("table", 0, "table number 1-5 (0 = all)")
+		table      = flag.Int("table", 0, "table number 1-6 (0 = all; 6 is this reproduction's backend comparison)")
 		workers    = flag.Int("workers", 0, "concurrent benchmark runs per table (0 = all CPUs; tables are identical for every value)")
 		metricsOut = flag.String("metrics", "", "write metrics aggregated over every RABID run (JSON) to this file")
 		summary    = flag.Bool("summary", false, "print a human-readable metrics summary to stderr at the end")
@@ -73,7 +74,7 @@ func run(table, workers int, metricsOut string, summary bool, cpuProfile, memPro
 		defer rabid.SetTableObserver(nil)
 	}
 
-	which := []int{1, 2, 3, 4, 5}
+	which := []int{1, 2, 3, 4, 5, 6}
 	if table != 0 {
 		which = []int{table}
 	}

@@ -1,0 +1,116 @@
+package rabid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// updateBackendGolden regenerates the checked-in backend golden fixtures
+// (same idiom as -update-route-golden). Regenerate only when a change is
+// *meant* to alter an engine's results, and say so in the PR.
+var updateBackendGolden = flag.Bool("update-backend-golden", false, "rewrite testdata/golden_backend fixtures")
+
+// goldenBackendNames are the suite circuits the mcf and rabid+lib engines
+// are pinned on (coarse tilings; the rabid engine is already pinned suite-
+// wide by testdata/golden_route).
+var goldenBackendNames = []string{"apte", "ami49", "playout"}
+
+// goldenBackendResult extends the router golden document with the
+// per-buffer gate choices of the library DP (index into Params.Library;
+// empty per-net lists for the single-type engines).
+type goldenBackendResult struct {
+	goldenResult
+	Gates [][]int `json:"gates"`
+}
+
+func goldenBackendBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var base goldenResult
+	if err := json.Unmarshal(goldenBytes(t, res), &base); err != nil {
+		t.Fatal(err)
+	}
+	gr := goldenBackendResult{goldenResult: base}
+	for _, a := range res.Assignments {
+		gates := []int{}
+		gates = append(gates, a.Gates...)
+		gr.Gates = append(gr.Gates, gates)
+	}
+	b, err := json.MarshalIndent(gr, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenBackendEquivalence pins the mcf and rabid+lib engines to
+// checked-in fixtures on three suite circuits, and asserts each engine is
+// deterministic across Workers 1/2/4/8 — the same byte-identity contract
+// the rabid engine carries via testdata/golden_route.
+func TestGoldenBackendEquivalence(t *testing.T) {
+	engines := []string{"mcf", "rabid+lib"}
+	type job struct {
+		engine  string
+		circuit string
+	}
+	var jobs []job
+	for _, e := range engines {
+		for _, name := range goldenBackendNames {
+			jobs = append(jobs, job{e, name})
+		}
+	}
+	got := make([][]byte, len(jobs))
+	if err := par.ForEach(0, len(jobs), func(i int) error {
+		name := jobs[i].circuit
+		g := coarseGrids[name]
+		c, err := GenerateBenchmark(name, GenOptions{GridW: g[0], GridH: g[1]})
+		if err != nil {
+			return err
+		}
+		for wi, workers := range []int{1, 2, 4, 8} {
+			p := BenchmarkParams(name)
+			p.Backend = jobs[i].engine
+			p.Workers = workers
+			res, err := Plan(context.Background(), c, p)
+			if err != nil {
+				return err
+			}
+			b := goldenBackendBytes(t, res)
+			if wi == 0 {
+				got[i] = b
+			} else if !bytes.Equal(got[i], b) {
+				t.Errorf("%s/%s: Workers=1 and Workers=%d results differ", jobs[i].engine, name, workers)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		// "+" is awkward in filenames; fixture files use "rabidlib".
+		dir := map[string]string{"mcf": "mcf", "rabid+lib": "rabidlib"}[j.engine]
+		path := filepath.Join("testdata", "golden_backend", dir, j.circuit+".json")
+		if *updateBackendGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got[i], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s (regenerate deliberately with -update-backend-golden)", err)
+		}
+		if !bytes.Equal(want, got[i]) {
+			t.Errorf("%s/%s: result differs from golden fixture %s (engines must stay byte-deterministic)", j.engine, j.circuit, path)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package backend is the planning-engine subsystem: a registry of named
+// engines that all satisfy one contract — Plan(ctx, circuit, params) →
+// result + per-stage stats — so the facade, the CLIs, and the planning
+// service select an engine by name instead of hard-coding the rabid
+// pipeline. Three engines register at init:
+//
+//   - "rabid":     the paper's four-stage pipeline (core.RunContext),
+//     single planning buffer.
+//   - "rabid+lib": the same pipeline with the Stage-3 DP generalized to a
+//     buffer library (sizes and inverting variants with polarity tracking,
+//     after Li & Shi); an empty Params.Library defaults to
+//     tech.DefaultPlanningLibrary018.
+//   - "mcf":       multicommodity-flow buffered routing (core.RunMCFContext):
+//     fractional relaxation with site-aware lengths and approximate dual
+//     updates, deterministic seeded rounding, greedy repair, then the
+//     length-based buffer DP.
+//
+// Engine identity is part of a plan's content address (see internal/cache):
+// Normalize canonicalizes Params before any key is derived, so "" and
+// "rabid" share cache entries while distinct engines never alias.
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Engine is one planning backend. Implementations must be deterministic:
+// identical (circuit, params) inputs produce byte-identical results at
+// every Params.Workers value.
+type Engine interface {
+	// Name is the registry key ("rabid", "rabid+lib", "mcf").
+	Name() string
+	// Describe is a one-line human summary for CLI listings.
+	Describe() string
+	// Plan runs the engine. Params arrive normalized (see Normalize): the
+	// Backend field names this engine and the Library field is consistent
+	// with it.
+	Plan(ctx context.Context, c *netlist.Circuit, p core.Params) (*core.Result, error)
+}
+
+// DefaultName is the engine an empty Params.Backend resolves to.
+const DefaultName = "rabid"
+
+var registry = map[string]Engine{}
+
+// Register adds an engine to the registry. It panics on a duplicate or
+// empty name: registration happens at init, where a conflict is a
+// programming error, not a runtime condition.
+func Register(e Engine) {
+	name := e.Name()
+	if name == "" {
+		panic("backend: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate engine %q", name))
+	}
+	registry[name] = e
+}
+
+// Lookup resolves an engine by name; "" resolves to DefaultName.
+func Lookup(name string) (Engine, bool) {
+	if name == "" {
+		name = DefaultName
+	}
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names returns the registered engine names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry { //rabid:allow maprange sorted immediately below; iteration order never escapes
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize canonicalizes the engine-selection fields of p and validates
+// them against the registry, returning the Params every downstream
+// consumer — the engine itself and the cache-key derivation — must use:
+//
+//   - Backend "" becomes DefaultName, so the empty spelling and the
+//     explicit one share one content address;
+//   - "rabid+lib" with an empty Library gets tech.DefaultPlanningLibrary018,
+//     so the default library is spelled out in the key and a future default
+//     change cannot silently alias old cache entries;
+//   - "rabid" and "mcf" reject a non-empty Library: those engines run the
+//     single-type DP, and accepting (then ignoring) a library would mint
+//     distinct keys for byte-identical results.
+//
+// Normalize must run before core.PlanKey / cache admission; the server and
+// facade both do.
+func Normalize(p core.Params) (core.Params, error) {
+	if p.Backend == "" {
+		p.Backend = DefaultName
+	}
+	if _, ok := registry[p.Backend]; !ok {
+		return p, fmt.Errorf("backend: unknown engine %q (have %v)", p.Backend, Names())
+	}
+	switch p.Backend {
+	case NameRabidLib:
+		if len(p.Library) == 0 {
+			p.Library = tech.DefaultPlanningLibrary018()
+		}
+		for i := range p.Library {
+			if err := p.Library[i].Validate(); err != nil {
+				return p, fmt.Errorf("backend: library gate %d: %w", i, err)
+			}
+		}
+	default:
+		if len(p.Library) > 0 {
+			return p, fmt.Errorf("backend: engine %q does not take a buffer library (use %q)", p.Backend, NameRabidLib)
+		}
+	}
+	return p, nil
+}
+
+// Plan normalizes p, resolves the engine, and runs it.
+func Plan(ctx context.Context, c *netlist.Circuit, p core.Params) (*core.Result, error) {
+	p, err := Normalize(p)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := Lookup(p.Backend)
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown engine %q", p.Backend)
+	}
+	return e.Plan(ctx, c, p)
+}

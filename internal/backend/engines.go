@@ -1,0 +1,63 @@
+// The three built-in planning engines. Each is a thin adapter: the
+// pipelines themselves live in internal/core (they share stage-1 graph
+// construction, the Stage-3 DP driver, delay evaluation, and the Table II
+// snapshot accounting), and this package owns naming, normalization, and
+// dispatch.
+package backend
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Registered engine names.
+const (
+	NameRabid    = "rabid"
+	NameRabidLib = "rabid+lib"
+	NameMCF      = "mcf"
+)
+
+func init() {
+	Register(rabidEngine{})
+	Register(rabidLibEngine{})
+	Register(mcfEngine{})
+}
+
+// rabidEngine is the paper's four-stage pipeline with the single planning
+// buffer — the reference engine whose output is pinned byte-for-byte by
+// the golden route fixtures.
+type rabidEngine struct{}
+
+func (rabidEngine) Name() string { return NameRabid }
+func (rabidEngine) Describe() string {
+	return "RABID four-stage pipeline (Steiner, rip-up/reroute, length-based buffer DP, post-processing)"
+}
+func (rabidEngine) Plan(ctx context.Context, c *netlist.Circuit, p core.Params) (*core.Result, error) {
+	return core.RunContext(ctx, c, p)
+}
+
+// rabidLibEngine is the rabid pipeline with the multi-type Stage-3 DP: per
+// buffer, a gate is chosen from Params.Library (drive-scaled length
+// constraints, area-scaled site costs, inverter polarity tracking).
+type rabidLibEngine struct{}
+
+func (rabidLibEngine) Name() string { return NameRabidLib }
+func (rabidLibEngine) Describe() string {
+	return "RABID pipeline with a buffer library: multi-type DP over sizes and inverters (Li & Shi)"
+}
+func (rabidLibEngine) Plan(ctx context.Context, c *netlist.Circuit, p core.Params) (*core.Result, error) {
+	return core.RunContext(ctx, c, p)
+}
+
+// mcfEngine is the multicommodity-flow buffered-routing engine.
+type mcfEngine struct{}
+
+func (mcfEngine) Name() string { return NameMCF }
+func (mcfEngine) Describe() string {
+	return "multicommodity-flow buffered routing: fractional relaxation, seeded rounding, buffer DP (Albrecht et al.)"
+}
+func (mcfEngine) Plan(ctx context.Context, c *netlist.Circuit, p core.Params) (*core.Result, error) {
+	return core.RunMCFContext(ctx, c, p)
+}

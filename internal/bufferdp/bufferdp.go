@@ -53,6 +53,10 @@ type Assignment struct {
 	// Violations is the number of tile units driven beyond the constraint
 	// across all gates; zero means the length rule is fully satisfied.
 	Violations int
+	// Gates, when non-nil, parallels Buffers with the library gate index
+	// chosen for each buffer (see AssignLib). The single-type DP leaves it
+	// nil, which downstream consumers read as "the planning buffer".
+	Gates []int
 }
 
 // BufferNodes returns the node index of each buffer (with multiplicity).

@@ -225,28 +225,61 @@ func TestBadArgs(t *testing.T) {
 
 // --- brute-force reference ------------------------------------------------
 
-// bruteForce enumerates every placement of trunk buffers (at a node,
-// driving its joined subtree) and branch buffers (at a node, decoupling one
-// child edge), checking the total-length rule for the driver and each
-// buffer. Returns the minimum cost and feasibility.
+// bruteForce is the single-type reference checker: the library enumeration
+// of bruteForceLib restricted to one non-inverting buffer with the driver's
+// length constraint and unit cost scale.
 func bruteForce(rt *rtree.Tree, L int, q func(int) float64) (float64, bool) {
+	return bruteForceLib(rt, L, []LibGate{{L: L, CostScale: 1}}, q)
+}
+
+// bruteForceLib enumerates every placement of trunk gates (at a node,
+// driving its joined subtree) and branch gates (at a node, decoupling one
+// child edge), each drawn from the buffer library, checking the per-gate
+// total-length rule, the driver's constraint L, and signal polarity: every
+// sink pin must see the true signal, where a sink taps the signal arriving
+// at its node (gates placed in the sink's own tile do not affect its pin)
+// and a trunk gate feeds the node's entire joined load, including the
+// inputs of decoupling gates placed at the same node. Returns the minimum
+// cost and feasibility.
+func bruteForceLib(rt *rtree.Tree, L int, lib []LibGate, q func(int) float64) (float64, bool) {
 	n := rt.NumNodes()
 	type edge struct{ v, w int }
 	var edges []edge
+	par := make([]int, n)
+	for i := range par {
+		par[i] = -1
+	}
 	for v := 0; v < n; v++ {
 		for _, w := range rt.Children(v) {
 			edges = append(edges, edge{v, w})
+			par[w] = v
 		}
 	}
+	edgeIdx := make(map[[2]int]int, len(edges))
+	for i, e := range edges {
+		edgeIdx[[2]int{e.v, e.w}] = i
+	}
+	var sinkNodes []int
+	for v := 0; v < n; v++ {
+		if rt.SinksAt(v) > 0 {
+			sinkNodes = append(sinkNodes, v)
+		}
+	}
+
 	best := math.Inf(1)
 	feasible := false
-	trunk := make([]bool, n)
-	branch := make([]bool, len(edges))
-	branchAt := make(map[[2]int]bool, len(edges))
+	trunk := make([]int, n)           // library gate index, -1 = none
+	branch := make([]int, len(edges)) // library gate index, -1 = none
+	for i := range trunk {
+		trunk[i] = -1
+	}
+	for i := range branch {
+		branch[i] = -1
+	}
 
 	var f func(v int) int
 	g := func(w int) int {
-		if trunk[w] {
+		if trunk[w] >= 0 {
 			return 0
 		}
 		return f(w)
@@ -254,7 +287,7 @@ func bruteForce(rt *rtree.Tree, L int, q func(int) float64) (float64, bool) {
 	f = func(v int) int {
 		total := 0
 		for _, w := range rt.Children(v) {
-			if branchAt[[2]int{v, w}] {
+			if branch[edgeIdx[[2]int{v, w}]] >= 0 {
 				continue
 			}
 			total += 1 + g(w)
@@ -264,35 +297,50 @@ func bruteForce(rt *rtree.Tree, L int, q func(int) float64) (float64, bool) {
 	check := func() {
 		cost := 0.0
 		for v := 0; v < n; v++ {
-			if trunk[v] {
+			if gi := trunk[v]; gi >= 0 {
 				c := q(v)
 				if math.IsInf(c, 1) {
 					return
 				}
-				cost += c
-				if f(v) > L {
+				cost += c * lib[gi].CostScale
+				if f(v) > lib[gi].L {
 					return
 				}
 			}
 		}
 		for i, e := range edges {
-			if branch[i] {
+			if gi := branch[i]; gi >= 0 {
 				c := q(e.v)
 				if math.IsInf(c, 1) {
 					return
 				}
-				cost += c
-				if 1+g(e.w) > L {
+				cost += c * lib[gi].CostScale
+				if 1+g(e.w) > lib[gi].L {
 					return
 				}
 			}
 		}
 		drv := f(0)
-		if trunk[0] {
+		if trunk[0] >= 0 {
 			drv = 0
 		}
 		if drv > L {
 			return
+		}
+		for _, s := range sinkNodes {
+			p := 0
+			for w := s; par[w] >= 0; w = par[w] {
+				v := par[w]
+				if gi := branch[edgeIdx[[2]int{v, w}]]; gi >= 0 && lib[gi].Invert {
+					p ^= 1
+				}
+				if gi := trunk[v]; gi >= 0 && lib[gi].Invert {
+					p ^= 1
+				}
+			}
+			if p != 0 {
+				return
+			}
 		}
 		feasible = true
 		if cost < best {
@@ -302,25 +350,26 @@ func bruteForce(rt *rtree.Tree, L int, q func(int) float64) (float64, bool) {
 	var enum func(i int)
 	enum = func(i int) {
 		if i == n+len(edges) {
-			for k, e := range edges {
-				branchAt[[2]int{e.v, e.w}] = branch[k]
-			}
 			check()
 			return
 		}
-		if i < n {
-			trunk[i] = false
+		set := func(gi int) {
+			if i < n {
+				trunk[i] = gi
+			} else {
+				branch[i-n] = gi
+			}
 			enum(i + 1)
-			trunk[i] = true
-			enum(i + 1)
-			trunk[i] = false
-			return
 		}
-		branch[i-n] = false
-		enum(i + 1)
-		branch[i-n] = true
-		enum(i + 1)
-		branch[i-n] = false
+		set(-1)
+		for gi := range lib {
+			set(gi)
+		}
+		if i < n {
+			trunk[i] = -1
+		} else {
+			branch[i-n] = -1
+		}
 	}
 	enum(0)
 	return best, feasible

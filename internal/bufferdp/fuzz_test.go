@@ -53,3 +53,84 @@ func FuzzSingleSinkAgreement(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLibraryAgreement pins the multi-type DP against the exhaustive
+// library checker on fuzzer-chosen paths. The first byte picks the driver
+// constraint, the second encodes the library (which of the three template
+// gates — a weak buffer, a strong buffer, an inverter — are present), and
+// the rest are per-tile site costs (255 = no sites). Inverter polarity
+// legality is covered: libraries containing only the inverter force the DP
+// to pair gates or report violations, and the checker verifies both.
+func FuzzLibraryAgreement(f *testing.F) {
+	f.Add([]byte{3, 1, 13, 86, 5, 255, 10})
+	f.Add([]byte{2, 4, 10, 10, 10, 10})   // inverter-only library
+	f.Add([]byte{3, 5, 255, 7, 3, 9, 11}) // weak buffer + inverter
+	f.Add([]byte{1, 7, 1, 2, 3, 4})       // full library
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 || len(data) > 10 {
+			return
+		}
+		L := int(data[0])%4 + 1
+		templates := []LibGate{
+			{L: L, CostScale: 1},
+			{L: L + 2, CostScale: 2.25},
+			{L: L + 1, CostScale: 0.6, Invert: true},
+		}
+		var lib []LibGate
+		for bit, g := range templates {
+			if data[1]&(1<<bit) != 0 {
+				lib = append(lib, g)
+			}
+		}
+		if len(lib) == 0 {
+			return
+		}
+		// The checker enumerates (len(lib)+1)^(2n-1) placements; truncate
+		// the path so that stays around 10^5-10^6.
+		maxQ := [4]int{0, 8, 5, 3}[len(lib)]
+		qbytes := data[2:]
+		if len(qbytes) > maxQ {
+			qbytes = qbytes[:maxQ]
+		}
+		q := make([]float64, len(qbytes))
+		for i, b := range qbytes {
+			if b == 255 {
+				q[i] = math.Inf(1)
+			} else {
+				q[i] = float64(b)/10 + 0.05
+			}
+		}
+		n := len(q) + 2
+		rt := pathTree(n)
+		qf := func(v int) float64 {
+			if v == 0 || v == n-1 {
+				return math.Inf(1)
+			}
+			return q[v-1]
+		}
+		a, err := AssignLib(rt, L, lib, qf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, feasible := bruteForceLib(rt, L, lib, qf)
+		if feasible != a.Feasible() {
+			t.Fatalf("feasibility mismatch: brute %v, dp %v (L=%d lib=%+v q=%v)",
+				feasible, a.Feasible(), L, lib, q)
+		}
+		if !feasible {
+			return
+		}
+		sum := 0.0
+		for i, b := range a.Buffers {
+			sum += qf(b.Node) * lib[a.Gates[i]].CostScale
+		}
+		if math.Abs(sum-a.Cost) > 1e-9 {
+			t.Fatalf("recovered gates cost %v, DP reported %v (L=%d lib=%+v q=%v)",
+				sum, a.Cost, L, lib, q)
+		}
+		if math.Abs(a.Cost-want) > 1e-9 {
+			t.Fatalf("cost mismatch: brute %v, dp %v (L=%d lib=%+v q=%v)",
+				want, a.Cost, L, lib, q)
+		}
+	})
+}

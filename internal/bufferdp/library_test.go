@@ -1,0 +1,272 @@
+package bufferdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// singleLib is the degenerate library that must reproduce the single-type
+// DP exactly: one non-inverting buffer with the driver's constraint.
+func singleLib(L int) []LibGate {
+	return []LibGate{{L: L, CostScale: 1}}
+}
+
+// randomLib draws 1-3 library gates with small length constraints, mixed
+// cost scales, and a coin-flip inverting flag.
+func randomLib(r *rand.Rand) []LibGate {
+	lib := make([]LibGate, 1+r.Intn(3))
+	for i := range lib {
+		lib[i] = LibGate{
+			L:         1 + r.Intn(4),
+			CostScale: 0.5 + r.Float64()*1.5,
+			Invert:    r.Intn(2) == 0,
+		}
+	}
+	return lib
+}
+
+// TestAssignLibSingleTypeEquivalence pins the reduction property: with a
+// one-buffer library matching the driver constraint, AssignLib runs the
+// same transitions in the same order as AssignCounted, so costs,
+// violations, and the recovered buffer list must all agree.
+func TestAssignLibSingleTypeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rt := randomTree(r, 2+r.Intn(7))
+		L := 1 + r.Intn(5)
+		qs := make([]float64, rt.NumNodes())
+		for i := range qs {
+			switch r.Intn(4) {
+			case 0:
+				qs[i] = -1 // +Inf
+			default:
+				qs[i] = 0.1 + r.Float64()*5
+			}
+		}
+		q := qFromSlice(qs)
+		want, err := Assign(rt, L, q)
+		if err != nil {
+			return false
+		}
+		got, err := AssignLib(rt, L, singleLib(L), q, nil)
+		if err != nil {
+			return false
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-12 || got.Violations != want.Violations {
+			return false
+		}
+		if len(got.Buffers) != len(want.Buffers) || len(got.Gates) != len(got.Buffers) {
+			return false
+		}
+		for i := range got.Buffers {
+			if got.Buffers[i] != want.Buffers[i] || got.Gates[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLibDPMatchesBruteForce is the multi-type optimality property: on
+// small random trees and random libraries (inverters included), the DP
+// must agree with the exhaustive checker on feasibility and, when
+// feasible, on the minimum cost — inverter polarity legality included.
+func TestLibDPMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rt := randomTree(r, 2+r.Intn(4)) // <= 5 nodes: enumeration stays cheap
+		L := 1 + r.Intn(4)
+		lib := randomLib(r)
+		qs := make([]float64, rt.NumNodes())
+		for i := range qs {
+			switch r.Intn(4) {
+			case 0:
+				qs[i] = -1 // +Inf
+			default:
+				qs[i] = 0.1 + r.Float64()*5
+			}
+		}
+		q := qFromSlice(qs)
+		a, err := AssignLib(rt, L, lib, q, nil)
+		if err != nil {
+			return false
+		}
+		want, feasible := bruteForceLib(rt, L, lib, q)
+		if !feasible {
+			return !a.Feasible()
+		}
+		if !a.Feasible() {
+			return false
+		}
+		// Cross-check the reported cost against the gates actually chosen.
+		sum := 0.0
+		for i, b := range a.Buffers {
+			sum += q(b.Node) * lib[a.Gates[i]].CostScale
+		}
+		if math.Abs(sum-a.Cost) > 1e-9 {
+			return false
+		}
+		return math.Abs(a.Cost-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLibDPPathsMatchBruteForce runs deeper paths than the quick test, the
+// shape where length-constraint interactions between gate types bite.
+func TestLibDPPathsMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(4)
+		rt := pathTree(n)
+		L := 1 + r.Intn(4)
+		lib := randomLib(r)
+		qs := make([]float64, n)
+		for i := range qs {
+			if r.Intn(5) == 0 {
+				qs[i] = -1
+			} else {
+				qs[i] = 0.1 + r.Float64()*3
+			}
+		}
+		q := qFromSlice(qs)
+		a, err := AssignLib(rt, L, lib, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, feasible := bruteForceLib(rt, L, lib, q)
+		if feasible != a.Feasible() {
+			t.Fatalf("trial %d: feasibility mismatch (brute %v, dp %v) n=%d L=%d lib=%+v q=%v",
+				trial, feasible, a.Feasible(), n, L, lib, qs)
+		}
+		if feasible && math.Abs(a.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: cost %v != brute %v (n=%d L=%d lib=%+v q=%v)",
+				trial, a.Cost, want, n, L, lib, qs)
+		}
+	}
+}
+
+// TestInverterPolarityLegality exercises the parity rule directly: with an
+// inverter-only library, gates must come in pairs on the driver-to-sink
+// chain even when a single gate would satisfy the length rule.
+func TestInverterPolarityLegality(t *testing.T) {
+	rt := pathTree(7) // 6 edges: driver covers 3, a gate must cover the rest
+	q := func(v int) float64 { return 1.0 }
+	inv := LibGate{L: 3, CostScale: 1, Invert: true}
+
+	a, err := AssignLib(rt, 3, []LibGate{inv}, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible() {
+		t.Fatalf("inverter pair must be feasible: %+v", a)
+	}
+	if len(a.Buffers)%2 != 0 || len(a.Buffers) == 0 {
+		t.Errorf("inverter-only library placed %d gates; pairs required: %+v", len(a.Buffers), a.Buffers)
+	}
+	if math.Abs(a.Cost-2.0) > 1e-12 {
+		t.Errorf("cost = %v, want 2.0 (two unit-cost inverters)", a.Cost)
+	}
+
+	// A lone buffer beats the pair when cheaper than two inverters...
+	buf := LibGate{L: 3, CostScale: 1.9}
+	a, err = AssignLib(rt, 3, []LibGate{inv, buf}, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Buffers) != 1 || a.Gates[0] != 1 || math.Abs(a.Cost-1.9) > 1e-12 {
+		t.Errorf("want single 1.9-cost buffer, got %+v", a)
+	}
+	// ...and loses when it costs more than the pair.
+	buf.CostScale = 2.1
+	a, err = AssignLib(rt, 3, []LibGate{inv, buf}, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Buffers) != 2 || math.Abs(a.Cost-2.0) > 1e-12 {
+		t.Errorf("want inverter pair at cost 2.0, got %+v", a)
+	}
+}
+
+// TestLibLongerDriveGate checks that a gate out-driving the base buffer is
+// actually used: a path too long for the 1x buffer chain becomes feasible
+// when the library adds a stronger gate with a larger length constraint.
+func TestLibLongerDriveGate(t *testing.T) {
+	// 8 edges; driver L=2; sites only at node 2. A 1x gate (L=2) at node 2
+	// leaves 6 unbuffered edges -> infeasible. A strong gate with L=6
+	// covers them.
+	rt := pathTree(9)
+	q := func(v int) float64 {
+		if v == 2 {
+			return 1.0
+		}
+		return math.Inf(1)
+	}
+	weak := LibGate{L: 2, CostScale: 1}
+	a, err := AssignLib(rt, 2, []LibGate{weak}, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Feasible() {
+		t.Fatalf("weak-only library cannot cover 6 trailing edges: %+v", a)
+	}
+	strong := LibGate{L: 6, CostScale: 2.5}
+	a, err = AssignLib(rt, 2, []LibGate{weak, strong}, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Feasible() || len(a.Buffers) != 1 || a.Gates[0] != 1 {
+		t.Fatalf("want the strong gate at node 2, got %+v", a)
+	}
+	if math.Abs(a.Cost-2.5) > 1e-12 {
+		t.Errorf("cost = %v, want 2.5", a.Cost)
+	}
+}
+
+// TestAssignLibBadArgs covers the validation surface.
+func TestAssignLibBadArgs(t *testing.T) {
+	rt := pathTree(3)
+	q := func(v int) float64 { return 1 }
+	cases := []struct {
+		name string
+		L    int
+		lib  []LibGate
+	}{
+		{"driver L < 1", 0, singleLib(1)},
+		{"empty library", 2, nil},
+		{"gate L < 1", 2, []LibGate{{L: 0, CostScale: 1}}},
+		{"gate L overflow", 2, []LibGate{{L: math.MaxInt16 + 1, CostScale: 1}}},
+		{"negative cost scale", 2, []LibGate{{L: 2, CostScale: -1}}},
+		{"NaN cost scale", 2, []LibGate{{L: 2, CostScale: math.NaN()}}},
+	}
+	for _, tc := range cases {
+		if _, err := AssignLib(rt, tc.L, tc.lib, q, nil); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestAssignLibStatsPopulated mirrors the single-type stats contract.
+func TestAssignLibStatsPopulated(t *testing.T) {
+	rt := pathTree(8)
+	var st DPStats
+	if _, err := AssignLib(rt, 3, singleLib(3), func(v int) float64 { return 1 }, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates == 0 {
+		t.Error("no candidates counted")
+	}
+	var single DPStats
+	if _, err := AssignCounted(rt, 3, func(v int) float64 { return 1 }, &single); err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates < single.Candidates {
+		t.Errorf("library DP counted %d candidates, fewer than single-type %d", st.Candidates, single.Candidates)
+	}
+}

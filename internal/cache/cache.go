@@ -34,7 +34,7 @@ import (
 // keyVersion is baked into every key so a change to the key material's
 // layout (or to result-affecting semantics) invalidates old entries rather
 // than aliasing them.
-const keyVersion = 1
+const keyVersion = 2
 
 // planMaterial enumerates, exhaustively and in a fixed order, every field
 // of a plan request that can affect the result. Fields deliberately
@@ -58,6 +58,13 @@ type planMaterial struct {
 	SkipStage4        bool             `json:"skip_stage4"`
 	DisableDemandTerm bool             `json:"disable_demand_term"`
 	UseMCFRouter      bool             `json:"use_mcf_router"`
+	// Backend and Library identify the planning engine. Callers must
+	// normalize Params first (backend.Normalize): "" and "rabid" are the
+	// same engine and must share one address, and "rabid+lib" must have its
+	// default library spelled out so a future default change cannot alias
+	// entries computed under the old one.
+	Backend string         `json:"backend"`
+	Library []tech.LibGate `json:"library,omitempty"`
 }
 
 // PlanKey derives the content address of a RABID run: a hex SHA-256 over
@@ -83,6 +90,8 @@ func PlanKey(c *netlist.Circuit, p core.Params) (string, error) {
 		SkipStage4:        p.SkipStage4,
 		DisableDemandTerm: p.DisableDemandTerm,
 		UseMCFRouter:      p.UseMCFRouter,
+		Backend:           p.Backend,
+		Library:           p.Library,
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/route"
+	"repro/internal/tech"
 )
 
 func testCircuit(t *testing.T, seed int64) *netlist.Circuit {
@@ -86,6 +87,8 @@ func TestPlanKeyParamsSensitivity(t *testing.T) {
 		"SkipStage4":        {func(p *core.Params) { p.SkipStage4 = true }, true},
 		"DisableDemandTerm": {func(p *core.Params) { p.DisableDemandTerm = true }, true},
 		"UseMCFRouter":      {func(p *core.Params) { p.UseMCFRouter = true }, true},
+		"Backend":           {func(p *core.Params) { p.Backend = "mcf" }, true},
+		"Library":           {func(p *core.Params) { p.Library = tech.DefaultPlanningLibrary018() }, true},
 		"Workers":           {func(p *core.Params) { p.Workers = 3 }, false},
 		"Observer":          {func(p *core.Params) { p.Observer = obs.NewMetrics() }, false},
 		// Router workspace pooling is memory reuse, not configuration: the

@@ -60,6 +60,20 @@ type Params struct {
 	// multicommodity-flow global router — the alternative the paper names
 	// ("e.g., the multicommodity flow-based approach of [1]").
 	UseMCFRouter bool
+	// Backend names the planning engine ("rabid", "rabid+lib", "mcf"; ""
+	// means "rabid"). The core pipeline does not dispatch on it — that is
+	// internal/backend's job — but it lives here so one Params value
+	// describes a plan request end to end and the content-addressed cache
+	// keys cover engine identity (see internal/cache planMaterial).
+	Backend string
+	// Library is the planning buffer library for the multi-type Stage-3 DP
+	// (the rabid+lib backend). Empty means the single planning buffer
+	// Tech.Buffer — the paper's configuration. When non-empty, every DP run
+	// chooses per-buffer gates from this library (each gate's length
+	// constraint is the net's L scaled by its drive strength, its site cost
+	// scaled by its area; inverters must pair up via polarity tracking) and
+	// delay evaluation uses the chosen gates.
+	Library []tech.LibGate
 	// Workers bounds the goroutines used for the parallel sections: the
 	// order-independent per-net work (Stage-1 Steiner construction, the
 	// delay refresh after every stage, the per-net snapshot accounting)
@@ -180,6 +194,51 @@ func Run(c *netlist.Circuit, p Params) (*Result, error) {
 // is bit-identical to Run's: cancellation can only abort a run, never
 // change its result, because no checkpoint alters any computation.
 func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, error) {
+	st, err := newState(ctx, c, p)
+	if err != nil {
+		return nil, err
+	}
+	defer p.WorkspacePool.Put(st.ws)
+	return st.execute([]pipeStage{
+		{1, st.stage1},
+		{2, st.stage2},
+		{3, st.stage3},
+		{4, st.stage4},
+	}, p.SkipStage4)
+}
+
+// RunMCF executes the multicommodity-flow buffered-routing pipeline (the
+// "mcf" planning backend): Stage 1 builds the initial Steiner routes and
+// the calibrated tile graph exactly as the rabid pipeline does; Stage 2
+// replaces rip-up-and-reroute with the full fractional MCF relaxation —
+// site-aware edge lengths pricing buffer scarcity into the length system,
+// approximate dual updates, deterministic seeded rounding, greedy repair;
+// Stage 3 runs the length-based buffer DP under the Eq. (2) site cost. The
+// paper's Stage-4 post-processing is rabid-specific (it splices two-paths
+// against the incremental router) and is not part of this engine.
+func RunMCF(c *netlist.Circuit, p Params) (*Result, error) {
+	return RunMCFContext(context.Background(), c, p) //rabid:allow ctxflow RunMCF is the documented Background wrapper over RunMCFContext for context-free callers (tables, benches); service paths call RunMCFContext
+}
+
+// RunMCFContext is RunMCF with cooperative cancellation, with the same
+// checkpoint contract as RunContext (stage boundaries, MCF phase and
+// per-net boundaries, per-net DP assignments, worker-pool dispatch).
+func RunMCFContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, error) {
+	st, err := newState(ctx, c, p)
+	if err != nil {
+		return nil, err
+	}
+	defer p.WorkspacePool.Put(st.ws)
+	return st.execute([]pipeStage{
+		{1, st.stage1},
+		{2, st.stage2MCF},
+		{3, st.stage3},
+	}, false)
+}
+
+// newState validates the inputs and assembles the pipeline state shared by
+// every planning engine.
+func newState(ctx context.Context, c *netlist.Circuit, p Params) (*state, error) {
 	if ctx == nil {
 		ctx = context.Background() //rabid:allow ctxflow nil-ctx guard: a nil ctx would panic at the first checkpoint, so it is normalized to the documented Background behavior
 	}
@@ -189,11 +248,16 @@ func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, err
 	if p.MaxRipupPasses < 1 {
 		return nil, fmt.Errorf("core: MaxRipupPasses %d < 1", p.MaxRipupPasses)
 	}
+	for i, g := range p.Library {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("core: library gate %d: %w", i, err)
+		}
+	}
 	eval, err := delay.NewEvaluator(p.Tech, c.TileUm)
 	if err != nil {
 		return nil, err
 	}
-	st := &state{
+	return &state{
 		ctx:      ctx,
 		c:        c,
 		p:        p,
@@ -205,9 +269,21 @@ func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, err
 		delays:   make([]float64, len(c.Nets)),
 		obs:      p.Observer,
 		ws:       p.WorkspacePool.Get(), // nil pool => fresh workspace
-	}
-	defer p.WorkspacePool.Put(st.ws)
-	res := &Result{Circuit: c, Params: p}
+	}, nil
+}
+
+// pipeStage is one stage of a planning pipeline: its Table II stage number
+// and the state method that runs it.
+type pipeStage struct {
+	num int
+	f   func() error
+}
+
+// execute drives a pipeline to completion: the run span, per-stage timing
+// and snapshot accounting, and result assembly. skipLast drops the final
+// stage (Params.SkipStage4 for the rabid pipeline's ablations).
+func (st *state) execute(stages []pipeStage, skipLast bool) (*Result, error) {
+	res := &Result{Circuit: st.c, Params: st.p}
 
 	// The run and stage timers read the wall clock unconditionally: the
 	// cpu(s) column of the paper's tables is part of the default, untapped
@@ -218,7 +294,7 @@ func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, err
 		obs.Emit(st.obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "run", Net: -1})
 	}
 	run := func(stage int, f func() error) error {
-		if err := ctx.Err(); err != nil {
+		if err := st.ctx.Err(); err != nil {
 			return fmt.Errorf("core: cancelled before stage %d: %w", stage, err)
 		}
 		st.stage = stage
@@ -233,17 +309,11 @@ func RunContext(ctx context.Context, c *netlist.Circuit, p Params) (*Result, err
 		st.emitStage(s)
 		return nil
 	}
-	if err := run(1, st.stage1); err != nil {
-		return nil, err
-	}
-	if err := run(2, st.stage2); err != nil {
-		return nil, err
-	}
-	if err := run(3, st.stage3); err != nil {
-		return nil, err
-	}
-	if !p.SkipStage4 {
-		if err := run(4, st.stage4); err != nil {
+	for i, ps := range stages {
+		if skipLast && i == len(stages)-1 {
+			break
+		}
+		if err := run(ps.num, ps.f); err != nil {
 			return nil, err
 		}
 	}
@@ -340,14 +410,9 @@ func (s *state) stage1() error {
 // the multicommodity-flow router when configured.
 func (s *state) stage2() error {
 	if s.p.UseMCFRouter {
-		// The MCF router has no internal checkpoints; it is bounded by its
-		// phase count, so the stage-boundary checks around it still apply.
-		if err := s.ctx.Err(); err != nil {
-			return err
-		}
 		mopt := mcf.Options{RouteOpt: s.p.RouteOpt, Obs: s.obs}
 		mopt.RouteOpt.Stage = 2
-		res, err := mcf.Route(s.g, s.c.Nets, mopt)
+		res, err := mcf.RouteCtx(s.ctx, s.g, s.c.Nets, mopt)
 		if err != nil {
 			return err
 		}
@@ -368,6 +433,44 @@ func (s *state) stage2() error {
 	px := route.NewParallel(s.p.Workers, s.p.WorkspacePool)
 	if _, err := route.ReduceCongestionCtx(s.ctx, s.g, s.c.Nets, s.routes, order, s.p.MaxRipupPasses, opt, s.ws, px); err != nil {
 		return err
+	}
+	return s.refreshDelays()
+}
+
+// The mcf engine's Stage-2 knobs. The rounding seed is fixed: the engine
+// is deterministic by construction, and distinct engines never alias in
+// the result cache because the content key covers backend identity. The
+// site weight prices buffer-site scarcity into the fractional length
+// system (see mcf.Options.SiteWeight); 0.5 biases routes toward site-rich
+// regions without overriding wire capacity as the primary resource.
+const (
+	mcfEngineSiteWeight   = 0.5
+	mcfEngineRoundingSeed = 1
+)
+
+// stage2MCF is the mcf engine's Stage 2: the full multicommodity-flow
+// buffered routing over the Stage-1 trees — fractional relaxation under
+// site-aware exponential lengths, approximate dual updates with a
+// lower-bound certificate, seeded (deterministic) randomized rounding,
+// and greedy repair. Unlike the rabid Stage 2 it is not incremental: the
+// relaxation re-prices every edge each phase, and the selected trees
+// replace the Stage-1 routes wholesale.
+func (s *state) stage2MCF() error {
+	mopt := mcf.Options{
+		RouteOpt:   s.p.RouteOpt,
+		Obs:        s.obs,
+		SiteWeight: mcfEngineSiteWeight,
+		Seed:       mcfEngineRoundingSeed,
+	}
+	mopt.RouteOpt.Stage = 2
+	res, err := mcf.RouteCtx(s.ctx, s.g, s.c.Nets, mopt)
+	if err != nil {
+		return err
+	}
+	for i, rt := range res.Routes {
+		route.RemoveUsage(s.g, s.routes[i])
+		s.routes[i] = rt
+		route.AddUsage(s.g, rt)
 	}
 	return s.refreshDelays()
 }
@@ -423,6 +526,14 @@ func (s *state) assignNet(i int) error {
 	if s.obs != nil {
 		dpp = &dp
 	}
+	// With a buffer library configured, the multi-type DP chooses per-buffer
+	// gates; its per-net view scales the net's constraint by each gate's
+	// drive strength. The ban-and-rerun protocol is gate-agnostic: every
+	// gate occupies one site, so the over-subscription check is unchanged.
+	var lib []bufferdp.LibGate
+	if len(s.p.Library) > 0 {
+		lib = dpLibrary(s.p.Library, s.p.Tech.Buffer, s.c.Nets[i].L)
+	}
 	for {
 		q := func(v int) float64 {
 			ti := s.g.TileIndex(rt.Tile[v])
@@ -432,7 +543,11 @@ func (s *state) assignNet(i int) error {
 			return s.g.SiteCost(ti)
 		}
 		var err error
-		a, err = bufferdp.AssignCounted(rt, s.c.Nets[i].L, q, dpp)
+		if lib != nil {
+			a, err = bufferdp.AssignLib(rt, s.c.Nets[i].L, lib, q, dpp)
+		} else {
+			a, err = bufferdp.AssignCounted(rt, s.c.Nets[i].L, q, dpp)
+		}
 		if err != nil {
 			return err
 		}
@@ -623,6 +738,43 @@ func spliceTwoPath(rt *rtree.Tree, pick []int, newPath []geom.Pt) (*rtree.Tree, 
 	return nt.Prune(), nil
 }
 
+// dpLibrary converts the planning library into the DP's per-net view for a
+// net with base length constraint L: each gate's length constraint is L
+// scaled by its drive strength relative to the single planning buffer, and
+// its site cost is scaled by its area.
+func dpLibrary(lib []tech.LibGate, base tech.Gate, L int) []bufferdp.LibGate {
+	out := make([]bufferdp.LibGate, len(lib))
+	for i, g := range lib {
+		lg := int(math.Floor(float64(L)*g.DriveScale(base) + 0.5))
+		if lg < 1 {
+			lg = 1
+		}
+		if lg > math.MaxInt16 {
+			lg = math.MaxInt16
+		}
+		out[i] = bufferdp.LibGate{L: lg, CostScale: g.AreaCost, Invert: g.Inverting}
+	}
+	return out
+}
+
+// sinkDelays evaluates net i's sink delays on route rt with the gates the
+// DP actually chose: the single planning buffer in single-type runs, or
+// the per-buffer library gates when Params.Library is active.
+func (s *state) sinkDelays(rt *rtree.Tree, i int) ([]float64, error) {
+	if !s.hasAsg[i] {
+		return s.eval.SinkDelays(rt, nil)
+	}
+	a := s.asg[i]
+	if a.Gates == nil {
+		return s.eval.SinkDelays(rt, a.Buffers)
+	}
+	placed := make([]delay.Placed, len(a.Buffers))
+	for k, b := range a.Buffers {
+		placed[k] = delay.Placed{Buf: b, Gate: s.p.Library[a.Gates[k]].Electrical()}
+	}
+	return s.eval.SinkDelaysSized(rt, placed)
+}
+
 // addDemand adjusts p(v) on every tile of a route.
 func (s *state) addDemand(rt *rtree.Tree, d float64) {
 	for _, t := range rt.Tile {
@@ -642,11 +794,7 @@ func (s *state) addDemand(rt *rtree.Tree, d float64) {
 func (s *state) refreshDelays() error {
 	evs := obs.NewIndexBuffers(s.obs, len(s.routes))
 	err := par.ForEachCtx(s.ctx, s.p.Workers, len(s.routes), func(i int) error {
-		var bufs []bufferdp.Buffer
-		if s.hasAsg[i] {
-			bufs = s.asg[i].Buffers
-		}
-		ds, err := s.eval.SinkDelays(s.routes[i], bufs)
+		ds, err := s.sinkDelays(s.routes[i], i)
 		if err != nil {
 			s.delays[i] = math.Inf(1)
 			evs.Emit(i, obs.Event{Kind: obs.KindCounter, Scope: "delay.eval_errors", Stage: s.stage, Net: s.c.Nets[i].ID, Value: 1})
@@ -708,9 +856,7 @@ func (s *state) snapshot(stage int) StageStats {
 		rt := s.routes[i]
 		a := &accts[i]
 		a.edges = rt.NumEdges()
-		var bufs []bufferdp.Buffer
 		if s.hasAsg[i] {
-			bufs = s.asg[i].Buffers
 			if !s.asg[i].Feasible() {
 				a.fail = true
 			}
@@ -719,7 +865,7 @@ func (s *state) snapshot(stage int) StageStats {
 			// to drive more than L tile units on its own.
 			a.fail = true
 		}
-		if ds, err := s.eval.SinkDelays(rt, bufs); err == nil {
+		if ds, err := s.sinkDelays(rt, i); err == nil {
 			a.ds = ds
 		}
 		return nil

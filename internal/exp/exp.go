@@ -5,9 +5,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"repro/internal/backend"
 	"repro/internal/bbp"
 	"repro/internal/core"
 	"repro/internal/floorplan"
@@ -355,6 +357,79 @@ func Table5(log io.Writer) (*textable.Table, error) {
 			r.Buffers, pair.RabidMT, int(r.WirelenMm+0.5),
 			int(r.MaxDelayPs+0.5), int(r.AvgDelayPs+0.5),
 			fmt.Sprintf("%.1f", r.CPU.Seconds()))
+	}
+	return t, nil
+}
+
+// table6Grid coarsens a circuit's base tiling to a third per axis (every
+// suite grid is a multiple of 3 per side, so the chip aspect ratio is
+// preserved exactly — the Table IV coarsest grids): the backend comparison
+// runs all ten circuits through three engines, and the coarse tiling keeps
+// the 30-run sweep CI-sized.
+func table6Grid(spec floorplan.Spec) (int, int) {
+	return spec.GridW / 3, spec.GridH / 3
+}
+
+// RunTable6Run executes one (circuit, engine) cell of the backend
+// comparison at the coarse Table VI tiling.
+func RunTable6Run(name, engine string) (*core.Result, error) {
+	spec, err := floorplan.BySuiteName(name)
+	if err != nil {
+		return nil, err
+	}
+	w, h := table6Grid(spec)
+	c, err := Generate(name, floorplan.Options{GridW: w, GridH: h})
+	if err != nil {
+		return nil, err
+	}
+	p := ParamsFor(name)
+	p.Observer = Observer
+	p.Backend = engine
+	return backend.Plan(context.Background(), c, p) //rabid:allow ctxflow table harness root: no caller context exists
+}
+
+// Table6 compares the three planning backends — rabid, rabid+lib, mcf —
+// on all ten circuits at a coarse tiling (not a paper table; the engines
+// beyond "rabid" are this reproduction's extensions). Columns follow the
+// final stage of each engine's pipeline.
+func Table6(log io.Writer) (*textable.Table, error) {
+	engines := backend.Names()
+	specs := floorplan.Suite()
+	type job struct {
+		circuit string
+		engine  string
+	}
+	var jobs []job
+	for _, spec := range specs {
+		for _, e := range engines {
+			jobs = append(jobs, job{spec.Name, e})
+		}
+	}
+	results := make([]*core.Result, len(jobs))
+	o := progress(log)
+	if err := par.ForEach(Workers, len(jobs), func(i int) error {
+		res, err := RunTable6Run(jobs[i].circuit, jobs[i].engine)
+		if err != nil {
+			return fmt.Errorf("table6: %s/%s: %w", jobs[i].circuit, jobs[i].engine, err)
+		}
+		logf(o, "table6: %s %s", jobs[i].circuit, jobs[i].engine)
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t := textable.New("circuit", "backend", "wl(mm)", "#bufs", "overflow",
+		"#fails", "dmax(ps)", "cpu(s)")
+	for i, j := range jobs {
+		res := results[i]
+		final := res.Stages[len(res.Stages)-1]
+		var cpu float64
+		for _, s := range res.Stages {
+			cpu += s.CPU.Seconds()
+		}
+		t.AddF(j.circuit, j.engine, int(final.WirelenMm+0.5), final.Buffers,
+			final.Overflows, final.Fails, int(final.MaxDelayPs+0.5),
+			fmt.Sprintf("%.1f", cpu))
 	}
 	return t, nil
 }

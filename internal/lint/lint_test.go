@@ -147,7 +147,7 @@ func TestSelfClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sawLint, sawObs, sawServer, sawCache, sawJournal bool
+	var sawLint, sawObs, sawServer, sawCache, sawJournal, sawBackend bool
 	var sawJobs, sawEdge bool
 	for _, pkg := range mod.Pkgs {
 		switch pkg.ImportPath {
@@ -169,6 +169,8 @@ func TestSelfClean(t *testing.T) {
 			sawCache = true
 		case mod.Path + "/internal/journal":
 			sawJournal = true
+		case mod.Path + "/internal/backend":
+			sawBackend = true
 		}
 	}
 	if !sawLint || !sawObs {
@@ -180,6 +182,9 @@ func TestSelfClean(t *testing.T) {
 	}
 	if !sawJobs || !sawEdge {
 		t.Fatalf("self-application must cover the async job runner (jobs.go: %v) and edge telemetry (edge.go: %v)", sawJobs, sawEdge)
+	}
+	if !sawBackend {
+		t.Fatal("self-application must load internal/backend (the planning-engine registry)")
 	}
 	for _, f := range Run(mod, nil) {
 		t.Errorf("tree not clean: %s", f)

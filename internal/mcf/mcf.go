@@ -14,7 +14,9 @@
 package mcf
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/geom"
@@ -34,6 +36,15 @@ type Options struct {
 	Epsilon float64
 	// Seed drives the randomized rounding.
 	Seed int64
+	// SiteWeight couples buffer-site scarcity into the length system —
+	// the buffered-routing coupling of Albrecht–Kahng–Măndoiu–Zelikovsky,
+	// where wire congestion and buffer availability are priced jointly.
+	// Each edge's initial length is scaled by 1 + SiteWeight*scarcity(e),
+	// with scarcity(e) the average of 1/(1+B(v)) over the edge's endpoint
+	// tiles, so routes are steered through buffer-site-rich regions and
+	// the downstream insertion DP finds sites where the length rule needs
+	// them. 0 (the default) reproduces the pure wire-capacity lengths.
+	SiteWeight float64
 	// RouteOpt configures the underlying Steiner router; its congestion
 	// cost is replaced by the MCF edge lengths.
 	RouteOpt route.Options
@@ -52,12 +63,30 @@ type Result struct {
 	FractionalMaxCongestion float64
 	// RoundedMaxCongestion is the max congestion of the selected routes.
 	RoundedMaxCongestion float64
+	// DualLowerBound is the approximate Garg–Könemann dual certificate:
+	// the maximum over phases of sum_i len_y(T_i) / sum_e y(e)*cap(e),
+	// where y is the exponential length system and T_i the tree routed
+	// for net i in that phase. Because the trees are heuristic (not
+	// exactly minimum) Steiner trees and y evolves within a phase, this
+	// is a quality indicator for the fractional solution, not a proof.
+	DualLowerBound float64
 }
 
 // Route computes routes for all nets on the graph. Wire usage present on g
 // is ignored and not modified; callers register the returned routes
 // themselves (route.AddUsage).
 func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
+	return RouteCtx(context.Background(), g, nets, opt) //rabid:allow ctxflow Route is the documented Background wrapper over RouteCtx for context-free callers (tables, tests); service paths call RouteCtx
+}
+
+// RouteCtx is Route with cooperative cancellation: the context is checked
+// at every phase boundary and between nets within a phase, so a deadline
+// lands promptly even on large grids. A run that completes is bit-identical
+// to Route's — cancellation can only abort, never change a result.
+func RouteCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background() //rabid:allow ctxflow nil-ctx guard: normalized to the documented Background behavior instead of panicking at the first checkpoint
+	}
 	if opt.Phases == 0 {
 		opt.Phases = 12
 	}
@@ -69,6 +98,9 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 	}
 	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
 		return nil, fmt.Errorf("mcf: epsilon %g outside (0,1)", opt.Epsilon)
+	}
+	if opt.SiteWeight < 0 || math.IsInf(opt.SiteWeight, 1) || math.IsNaN(opt.SiteWeight) {
+		return nil, fmt.Errorf("mcf: site weight %g not in [0, inf)", opt.SiteWeight)
 	}
 	if opt.RouteOpt.OverflowPenalty == 0 {
 		stage := opt.RouteOpt.Stage
@@ -84,6 +116,20 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 	length := make([]float64, ne)
 	for e := range length {
 		length[e] = 1 / float64(g.Capacity(e))
+	}
+	if opt.SiteWeight > 0 {
+		// Buffer-site scarcity scaling: iterate each edge once through the
+		// flat adjacency (nbr > v visits an edge from its lower endpoint).
+		for v := 0; v < g.NumTiles(); v++ {
+			nbrs, edges := g.Adjacency(v)
+			for k, w := range nbrs {
+				if int(w) <= v {
+					continue
+				}
+				scarcity := (1/(1+float64(g.Sites(v))) + 1/(1+float64(g.Sites(int(w))))) / 2
+				length[edges[k]] *= 1 + opt.SiteWeight*scarcity
+			}
+		}
 	}
 	opt.RouteOpt.Weight = func(e int) float64 { return length[e] }
 
@@ -110,13 +156,28 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 	// One workspace for all phase routing. Never donate trees back to it:
 	// every Reroute result may be retained in a pool.
 	ws := route.NewWorkspace()
+	dualBound := 0.0
 	for phase := 0; phase < opt.Phases; phase++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mcf: cancelled before phase %d: %w", phase, err)
+		}
 		popt := opt.RouteOpt
 		popt.Pass = phase + 1
 		t0 := obs.Now(opt.Obs)
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindSpanBegin, Scope: "mcf.phase",
 			Stage: popt.Stage, Pass: popt.Pass, Net: -1})
+		// Dual denominator sum_e y(e)*cap(e), frozen at phase start; the
+		// exponential length inflations below are the approximate
+		// dual-variable updates of the Garg–Könemann scheme.
+		denom := 0.0
+		for e := 0; e < ne; e++ {
+			denom += length[e] * float64(g.Capacity(e))
+		}
+		treeLens := 0.0
 		for i, n := range nets {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mcf: cancelled in phase %d: %w", phase, err)
+			}
 			rt, err := route.Reroute(g, n, popt, ws)
 			if err != nil {
 				return nil, fmt.Errorf("mcf: phase %d: %w", phase, err)
@@ -124,10 +185,16 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 			addTree(i, rt)
 			for _, pq := range rt.EdgePairs() {
 				e, _ := g.EdgeBetween(pq[0], pq[1])
+				treeLens += length[e]
 				fracUse[e]++
 				// Exponential length update: inflate by the fraction of
 				// the edge's capacity this unit of flow consumes.
 				length[e] *= 1 + opt.Epsilon/float64(g.Capacity(e))
+			}
+		}
+		if denom > 0 {
+			if b := treeLens / denom; b > dualBound {
+				dualBound = b
 			}
 		}
 		if opt.Obs != nil {
@@ -136,7 +203,9 @@ func Route(g *tile.Graph, nets []*netlist.Net, opt Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{Routes: make([]*rtree.Tree, len(nets))}
+	res := &Result{Routes: make([]*rtree.Tree, len(nets)), DualLowerBound: dualBound}
+	obs.Emit(opt.Obs, obs.Event{Kind: obs.KindGauge, Scope: "mcf.dual_bound",
+		Stage: opt.RouteOpt.Stage, Net: -1, Value: dualBound})
 	for e := 0; e < ne; e++ {
 		c := fracUse[e] / float64(opt.Phases) / float64(g.Capacity(e))
 		if c > res.FractionalMaxCongestion {

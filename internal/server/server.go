@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/bbp"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/route"
+	"repro/internal/tech"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -224,6 +226,13 @@ type planParams struct {
 	SkipStage4           *bool    `json:"skip_stage4,omitempty"`
 	DisableDemandTerm    *bool    `json:"disable_demand_term,omitempty"`
 	UseMCFRouter         *bool    `json:"use_mcf_router,omitempty"`
+	// Backend selects the planning engine ("rabid", "rabid+lib", "mcf";
+	// absent or empty = "rabid"). Library optionally overrides the buffer
+	// library of "rabid+lib"; parsePlan runs backend.Normalize on the merged
+	// parameters, so an empty library gets the default and a library on a
+	// single-type engine is a 400.
+	Backend *string        `json:"backend,omitempty"`
+	Library []tech.LibGate `json:"library,omitempty"`
 }
 
 // apply merges the overrides into p.
@@ -261,6 +270,12 @@ func (pp *planParams) apply(p *core.Params) {
 	if pp.UseMCFRouter != nil {
 		p.UseMCFRouter = *pp.UseMCFRouter
 	}
+	if pp.Backend != nil {
+		p.Backend = *pp.Backend
+	}
+	if len(pp.Library) > 0 {
+		p.Library = pp.Library
+	}
 }
 
 // planResponse is the POST /v1/plan body: the content key and the run's
@@ -282,6 +297,13 @@ func parsePlan(req *planRequest) (*netlist.Circuit, core.Params, string, error) 
 	}
 	p := core.DefaultParams()
 	req.Params.apply(&p)
+	// Normalize before deriving the key: "" and "rabid" must share one
+	// content address, and "rabid+lib" must have its default library
+	// spelled out in the key material.
+	p, err = backend.Normalize(p)
+	if err != nil {
+		return nil, core.Params{}, "", err
+	}
 	key, err := cache.PlanKey(c, p)
 	if err != nil {
 		return nil, core.Params{}, "", err
@@ -289,13 +311,13 @@ func parsePlan(req *planRequest) (*netlist.Circuit, core.Params, string, error) 
 	return c, p, key, nil
 }
 
-// planBytes runs the pipeline and serializes the deterministic response
-// body: the report with wall-clock CPU columns zeroed, keyed by the
-// content address. Every service path that computes a plan — sync,
-// async job, or journal replay — funnels through here, so their bytes
-// can never diverge.
+// planBytes runs the selected planning engine and serializes the
+// deterministic response body: the report with wall-clock CPU columns
+// zeroed, keyed by the content address. Every service path that computes a
+// plan — sync, async job, or journal replay — funnels through here, so
+// their bytes can never diverge.
 func planBytes(ctx context.Context, c *netlist.Circuit, p core.Params, key string) ([]byte, error) {
-	res, err := core.RunContext(ctx, c, p)
+	res, err := backend.Plan(ctx, c, p)
 	if err != nil {
 		return nil, err
 	}

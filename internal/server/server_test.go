@@ -376,6 +376,90 @@ func TestPlanParamsAffectResultAndKey(t *testing.T) {
 	}
 }
 
+// TestPlanBackends: each planning engine is selectable through the
+// "backend" params field; per backend, a repeat request is a cache hit
+// byte-identical to the fresh run, and the three engines mint three
+// distinct content keys (so they can never alias in the cache). The
+// explicit "rabid" spelling shares the default's key and cache entry.
+func TestPlanBackends(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	c := testCircuit(t, 1)
+
+	keys := map[string]string{}
+	for _, name := range []string{"rabid", "rabid+lib", "mcf"} {
+		body := planBody(t, c, fmt.Sprintf(`,"params":{"backend":%q}`, name))
+		resp1, b1 := postJSON(t, ts.URL+"/v1/plan", body)
+		if resp1.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", name, resp1.StatusCode, b1)
+		}
+		if got := resp1.Header.Get("X-Cache"); got != "miss" {
+			t.Errorf("%s: first POST X-Cache = %q, want miss", name, got)
+		}
+		resp2, b2 := postJSON(t, ts.URL+"/v1/plan", body)
+		if resp2.StatusCode != http.StatusOK {
+			t.Fatalf("%s: repeat status %d", name, resp2.StatusCode)
+		}
+		if got := resp2.Header.Get("X-Cache"); got != "hit" {
+			t.Errorf("%s: repeat X-Cache = %q, want hit", name, got)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: cached response differs from fresh response", name)
+		}
+		var pr struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal(b1, &pr); err != nil {
+			t.Fatal(err)
+		}
+		keys[name] = pr.Key
+		if want := `"` + pr.Key + `"`; resp1.Header.Get("ETag") != want {
+			t.Errorf("%s: ETag %q does not quote key %q", name, resp1.Header.Get("ETag"), pr.Key)
+		}
+	}
+	if keys["rabid"] == keys["rabid+lib"] || keys["rabid"] == keys["mcf"] || keys["rabid+lib"] == keys["mcf"] {
+		t.Errorf("backend keys alias: %v", keys)
+	}
+
+	// Omitting the backend is the "rabid" engine under the same key: the
+	// explicit spelling must be served from its cache entry.
+	resp, b := postJSON(t, ts.URL+"/v1/plan", planBody(t, c, ""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default-backend POST: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("default backend X-Cache = %q, want hit on the explicit rabid entry", got)
+	}
+	var pr struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(b, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Key != keys["rabid"] {
+		t.Errorf("default backend key %s != explicit rabid key %s", pr.Key, keys["rabid"])
+	}
+}
+
+// TestPlanBackendBadRequests: an unknown engine and a library on a
+// single-type engine are client errors, not runs.
+func TestPlanBackendBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	c := testCircuit(t, 1)
+	cases := []struct{ name, extra string }{
+		{"unknown engine", `,"params":{"backend":"fastest"}`},
+		{"library on mcf", `,"params":{"backend":"mcf","library":[{"name":"buf1x","out_res":180,"in_cap":23.4,"intrinsic":36.4,"area_cost":1}]}`},
+		{"bad library gate", `,"params":{"backend":"rabid+lib","library":[{"name":"dud","out_res":-1,"in_cap":1,"intrinsic":1,"area_cost":1}]}`},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/plan", planBody(t, c, tc.extra))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, resp.StatusCode, body)
+		}
+	}
+}
+
 // TestBBPEndpoint: the baseline endpoint plans a two-pin-decomposed
 // circuit and caches it; an undecomposed circuit and a bad capacity are
 // client errors.

@@ -74,6 +74,83 @@ func DefaultLibrary018() []Gate {
 	}
 }
 
+// LibGate is one entry of a planning buffer library: the electrical gate
+// model plus the planning-level attributes the multi-type buffer-insertion
+// DP consumes (Li & Shi's b-buffer-type formulation, specialized to the
+// paper's length-based cost). All fields serialize, so a library is part
+// of a plan request's content address.
+type LibGate struct {
+	// Name identifies the gate in tables, flags, and request bodies.
+	Name string `json:"name"`
+	// OutRes is the gate output resistance in ohms.
+	OutRes float64 `json:"out_res"`
+	// InCap is the gate input capacitance in farads.
+	InCap float64 `json:"in_cap"`
+	// Intrinsic is the gate's intrinsic delay in seconds.
+	Intrinsic float64 `json:"intrinsic"`
+	// Inverting marks an inverter: it flips signal polarity, and the DP
+	// must pair inverters on every driver-to-sink chain so each sink sees
+	// the true signal.
+	Inverting bool `json:"inverting"`
+	// AreaCost scales the Eq. (2) site cost q(v) when this gate occupies a
+	// buffer site (1 = the 1x planning buffer's footprint).
+	AreaCost float64 `json:"area_cost"`
+}
+
+// Electrical returns the gate's RC view for Elmore delay evaluation.
+func (g LibGate) Electrical() Gate {
+	return Gate{OutRes: g.OutRes, InCap: g.InCap, Intrinsic: g.Intrinsic}
+}
+
+// DriveScale returns the length-constraint scale of g relative to the base
+// planning buffer: sqrt(Rbase/Rg). The slew-derived length rule is
+// dominated by the driving gate's output resistance charging the wire
+// capacitance; the square root accounts for the distributed-wire RC term
+// that grows quadratically with length (see internal/slew). A gate with
+// half the output resistance may therefore drive ~1.41x the 1x buffer's
+// tile length before violating the same slew target.
+func (g LibGate) DriveScale(base Gate) float64 {
+	return math.Sqrt(base.OutRes / g.OutRes)
+}
+
+// Validate reports an error when the gate's electricals or planning
+// attributes are non-positive.
+func (g LibGate) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"OutRes", g.OutRes},
+		{"InCap", g.InCap},
+		{"Intrinsic", g.Intrinsic},
+		{"AreaCost", g.AreaCost},
+	}
+	for _, c := range checks {
+		if !(c.v > 0) || math.IsInf(c.v, 1) {
+			return fmt.Errorf("tech: library gate %q: %s must be positive and finite, got %g", g.Name, c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// DefaultPlanningLibrary018 returns the planning buffer library for the
+// 0.18 µm node: the 1x/2x/4x buffers of DefaultLibrary018 plus 1x/2x
+// inverters. The paper's buffer sites hold "a buffer or inverter with a
+// range of power levels"; inverters are roughly half a buffer (a buffer is
+// two cascaded inverters), so they cost about half the site area and have
+// under half the intrinsic delay, but flip polarity — the multi-type DP
+// may only use them in pairs on any driver-to-sink chain.
+func DefaultPlanningLibrary018() []LibGate {
+	b := Default018().Buffer
+	return []LibGate{
+		{Name: "buf1x", OutRes: b.OutRes, InCap: b.InCap, Intrinsic: b.Intrinsic, AreaCost: 1},
+		{Name: "buf2x", OutRes: b.OutRes / 2, InCap: b.InCap * 1.8, Intrinsic: b.Intrinsic * 1.05, AreaCost: 1.6},
+		{Name: "buf4x", OutRes: b.OutRes / 4, InCap: b.InCap * 3.2, Intrinsic: b.Intrinsic * 1.15, AreaCost: 2.5},
+		{Name: "inv1x", OutRes: b.OutRes, InCap: b.InCap * 0.55, Intrinsic: b.Intrinsic * 0.45, Inverting: true, AreaCost: 0.55},
+		{Name: "inv2x", OutRes: b.OutRes / 2, InCap: b.InCap, Intrinsic: b.Intrinsic * 0.5, Inverting: true, AreaCost: 0.9},
+	}
+}
+
 // WireRes returns the resistance of a wire of the given length (µm).
 func (t Tech) WireRes(lenUm float64) float64 { return t.WireResPerUm * lenUm }
 

@@ -27,6 +27,7 @@ import (
 	"io"
 
 	"repro/internal/anneal"
+	"repro/internal/backend"
 	"repro/internal/bbp"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -285,6 +286,54 @@ func RouteMCF(c *Circuit, capacity int, opt MCFOptions) (*MCFResult, error) {
 	return mcf.Route(g, c.Nets, opt)
 }
 
+// --- planning backends ----------------------------------------------------
+
+// LibGate is one gate of a planning buffer library: an electrical model
+// plus an area cost and an inverting flag. Params.Library, together with
+// Params.Backend = "rabid+lib", runs the Stage-3 DP over the library
+// (drive-scaled length constraints, area-scaled site costs, inverter
+// polarity tracking) instead of the single planning buffer.
+type LibGate = tech.LibGate
+
+// DefaultPlanningLibrary018 returns the default 0.18 um planning library:
+// 1x/2x/4x buffers and 1x/2x inverters, area costs relative to the 1x
+// planning buffer.
+func DefaultPlanningLibrary018() []LibGate { return tech.DefaultPlanningLibrary018() }
+
+// Backends returns the registered planning-engine names ("mcf", "rabid",
+// "rabid+lib"), sorted.
+func Backends() []string { return backend.Names() }
+
+// DescribeBackend returns the one-line summary of a registered engine
+// ("" names the default).
+func DescribeBackend(name string) (string, bool) {
+	e, ok := backend.Lookup(name)
+	if !ok {
+		return "", false
+	}
+	return e.Describe(), true
+}
+
+// NormalizeParams canonicalizes the engine-selection fields of p (Backend
+// "" → "rabid"; "rabid+lib" with no Library → the default library) and
+// validates them against the registry. Plan and the HTTP service apply it
+// automatically; call it directly when deriving cache keys by hand.
+func NormalizeParams(p Params) (Params, error) { return backend.Normalize(p) }
+
+// Plan runs the planning engine named by p.Backend ("" = the rabid
+// pipeline, making Plan a superset of RunContext). Engines are
+// deterministic: identical inputs produce identical results at every
+// Workers value.
+func Plan(ctx context.Context, c *Circuit, p Params) (*Result, error) {
+	return backend.Plan(ctx, c, p)
+}
+
+// RunMCF executes the multicommodity-flow buffered-routing engine
+// directly: fractional relaxation with site-aware edge lengths and
+// approximate dual updates, deterministic seeded rounding, greedy repair,
+// then the length-based buffer DP (equivalent to Plan with Backend "mcf").
+func RunMCF(c *Circuit, p Params) (*Result, error) { return core.RunMCF(c, p) }
+
 // --- observability --------------------------------------------------------
 
 // Observability types: Params.Observer taps a run's structured telemetry —
@@ -356,8 +405,10 @@ func BufferDensityASCII(res *Result) string {
 	return viz.ASCII(viz.BufferHeat(res.Graph), res.Circuit.GridW, res.Circuit.GridH)
 }
 
-// Table regenerates one of the paper's tables (1-5), logging progress to
-// log (may be nil). The returned table renders with String().
+// Table regenerates one of the experiment tables, logging progress to log
+// (may be nil): 1-5 are the paper's Tables I-V; 6 is this reproduction's
+// cross-backend comparison (rabid / rabid+lib / mcf over the ten-circuit
+// suite at a coarse tiling). The returned table renders with String().
 func Table(n int, log io.Writer) (*textable.Table, error) {
 	switch n {
 	case 1:
@@ -370,6 +421,8 @@ func Table(n int, log io.Writer) (*textable.Table, error) {
 		return exp.Table4(log)
 	case 5:
 		return exp.Table5(log)
+	case 6:
+		return exp.Table6(log)
 	}
 	return nil, errUnknownTable(n)
 }
@@ -377,7 +430,7 @@ func Table(n int, log io.Writer) (*textable.Table, error) {
 type errUnknownTable int
 
 func (e errUnknownTable) Error() string {
-	return "rabid: unknown table (want 1-5)"
+	return "rabid: unknown table (want 1-6)"
 }
 
 // --- planning service -----------------------------------------------------
@@ -395,8 +448,17 @@ type (
 // http.Server (cmd/rabidd is the packaged daemon).
 func NewPlanServer(cfg ServerConfig) *PlanServer { return server.New(cfg) }
 
-// PlanCacheKey returns the content address of a RABID run — the hex
+// PlanCacheKey returns the content address of a planning run — the hex
 // SHA-256 of the canonical (circuit, params, tech) serialization the
-// service's cache and ETags use. It fails for params carrying a custom
-// route weight function, which cannot be addressed by content.
-func PlanCacheKey(c *Circuit, p Params) (string, error) { return cache.PlanKey(c, p) }
+// service's cache and ETags use. Params are normalized first (see
+// NormalizeParams) so the empty and explicit spellings of an engine share
+// one address. It fails for params carrying a custom route weight
+// function, which cannot be addressed by content, and for an unknown
+// backend.
+func PlanCacheKey(c *Circuit, p Params) (string, error) {
+	p, err := backend.Normalize(p)
+	if err != nil {
+		return "", err
+	}
+	return cache.PlanKey(c, p)
+}

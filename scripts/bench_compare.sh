@@ -3,8 +3,9 @@
 # from the repo root). Stdlib-only: go test + cmd/benchjson, no external
 # benchstat.
 #
-#   1. run the route microbenchmarks (Reroute / RipupPass / BufferAwarePath)
-#      and the end-to-end BenchmarkRunSuite,
+#   1. run the route microbenchmarks (Reroute / RipupPass / BufferAwarePath),
+#      the end-to-end BenchmarkRunSuite, and the cross-backend
+#      BenchmarkBackendPlan (rabid / rabid+lib / mcf),
 #   2. convert the text output to JSON with cmd/benchjson,
 #   3. if a baseline exists, print an old-vs-new delta table.
 #
@@ -37,6 +38,10 @@ go test -run '^$' -bench 'BenchmarkReroute$|BenchmarkRipupPass$|BenchmarkRipupPa
 
 echo "== end-to-end suite benchmark (benchtime=$suite_benchtime)" >&2
 go test -run '^$' -bench 'BenchmarkRunSuite$' \
+  -benchmem -benchtime "$suite_benchtime" -timeout 20m . | tee -a "$workdir/bench.txt" >&2
+
+echo "== backend comparison benchmark (benchtime=$suite_benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkBackendPlan$' \
   -benchmem -benchtime "$suite_benchtime" -timeout 20m . | tee -a "$workdir/bench.txt" >&2
 
 if [ "$update" = 1 ]; then

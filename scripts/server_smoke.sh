@@ -6,7 +6,10 @@
 #      for /v1/healthz,
 #   2. POST a suite circuit to /v1/plan twice — the first response must be
 #      a cache miss, the second a hit, and the bodies byte-identical (the
-#      content-addressed cache's soundness claim),
+#      content-addressed cache's soundness claim) — then plan the same
+#      circuit through the rabid+lib and mcf backends and require three
+#      pairwise-distinct ETags (engine identity is part of the content
+#      address),
 #   3. submit a second circuit as an async job (POST /v1/jobs), stream its
 #      SSE event feed to completion with curl -N, and require the terminal
 #      "done" frame plus a done status with an embedded result,
@@ -73,6 +76,25 @@ cmp "$workdir/r1.json" "$workdir/r2.json" || {
   echo "cached response is not byte-identical to the fresh one"; exit 1; }
 grep -qi '^x-request-id: ' "$workdir/h1.txt" || {
   echo "plan response carries no X-Request-ID:"; cat "$workdir/h1.txt"; exit 1; }
+
+# --- planning backends: the same circuit through two more engines must
+# plan successfully and mint distinct content addresses (ETags) — the
+# engines can never alias in the cache.
+etag() { sed -n 's/^[Ee][Tt]ag: *//p' "$1" | tr -d '\r'; }
+for be in rabid+lib mcf; do
+  printf '{"circuit":%s,"params":{"backend":"%s"},"timeout_ms":120000}' \
+    "$(cat "$workdir/apte.json")" "$be" > "$workdir/req_be.json"
+  curl -sf -D "$workdir/h_$be.txt" -o "$workdir/r_$be.json" \
+    -X POST --data-binary @"$workdir/req_be.json" "http://$addr/v1/plan"
+done
+e_default=$(etag "$workdir/h1.txt")
+e_lib=$(etag "$workdir/h_rabid+lib.txt")
+e_mcf=$(etag "$workdir/h_mcf.txt")
+[ -n "$e_lib" ] && [ -n "$e_mcf" ] || {
+  echo "backend plans returned no ETag"; exit 1; }
+if [ "$e_lib" = "$e_default" ] || [ "$e_mcf" = "$e_default" ] || [ "$e_lib" = "$e_mcf" ]; then
+  echo "backend ETags alias: default=$e_default rabid+lib=$e_lib mcf=$e_mcf"; exit 1
+fi
 
 # --- async job: submit, stream events live, await the terminal status ---
 curl -sf -o "$workdir/job.json" \
