@@ -10,10 +10,15 @@
 // name-sorted benchmark list, so diffs between runs are line-local.
 //
 // Compare mode prints a per-benchmark delta table (ns/op, B/op, allocs/op)
-// and exits 0; it is a reporting tool, not a gate — wall-clock numbers from
-// shared CI runners are too noisy to fail a build on. The allocation
-// contracts that must not regress are enforced by tests
-// (internal/route/alloc_test.go), not by this comparison.
+// and by default exits 0: wall-clock numbers from shared CI runners are too
+// noisy to fail a build on unconditionally. -maxregress N turns the
+// comparison into a gate for the benchmarks matching -gate (a Go regexp;
+// default all): any matched benchmark whose ns/op regressed by more than N
+// percent fails the run. The gate automatically stands down — report only,
+// exit 0 — when the two reports carry different CPU fingerprints, because a
+// cross-machine wall-clock delta measures the hardware, not the change.
+// The allocation contracts that must not regress regardless of hardware
+// are enforced by tests (internal/route/alloc_test.go), not here.
 package main
 
 import (
@@ -23,12 +28,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. PopsOp and RelaxOp capture the
+// router's custom b.ReportMetric columns (pops/op, relaxations/op) from
+// the search-kernel matrix benchmarks — the checked-in baseline is where
+// the kernel pop-count win is recorded, so these survive the conversion.
 type Benchmark struct {
 	Name     string  `json:"name"`
 	Pkg      string  `json:"pkg,omitempty"`
@@ -36,6 +45,8 @@ type Benchmark struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 	BPerOp   float64 `json:"bytes_per_op"`
 	AllocsOp float64 `json:"allocs_per_op"`
+	PopsOp   float64 `json:"pops_per_op,omitempty"`
+	RelaxOp  float64 `json:"relaxations_per_op,omitempty"`
 }
 
 // Report is the checked-in/artifact document.
@@ -49,14 +60,25 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	compare := flag.Bool("compare", false, "compare two JSON reports: benchjson -compare old.json new.json")
+	maxRegress := flag.Float64("maxregress", 0, "with -compare: fail when a gated benchmark's ns/op regresses by more than this percent (0 = report only)")
+	gate := flag.String("gate", "", "with -maxregress: regexp selecting the benchmark names to gate (default: all)")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-maxregress pct [-gate regexp]] old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareReports(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+		var gateRE *regexp.Regexp
+		if *gate != "" {
+			re, err := regexp.Compile(*gate)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -gate:", err)
+				os.Exit(2)
+			}
+			gateRE = re
+		}
+		if err := compareReports(flag.Arg(0), flag.Arg(1), *maxRegress, gateRE, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -159,6 +181,10 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BPerOp = v
 		case "allocs/op":
 			b.AllocsOp = v
+		case "pops/op":
+			b.PopsOp = v
+		case "relaxations/op":
+			b.RelaxOp = v
 		}
 	}
 	return b, seen
@@ -177,8 +203,12 @@ func load(path string) (*Report, error) {
 }
 
 // compareReports prints old-vs-new deltas for every benchmark present in
-// both reports, and names the ones present in only one.
-func compareReports(oldPath, newPath string, w io.Writer) error {
+// both reports, and names the ones present in only one. With maxRegress > 0
+// it also gates: a benchmark matching gateRE (nil = all) whose ns/op
+// regressed by more than maxRegress percent is an error — unless the two
+// reports were taken on different CPUs, where wall-clock deltas measure
+// the hardware and the gate stands down to report-only.
+func compareReports(oldPath, newPath string, maxRegress float64, gateRE *regexp.Regexp, w io.Writer) error {
 	oldRep, err := load(oldPath)
 	if err != nil {
 		return err
@@ -187,10 +217,17 @@ func compareReports(oldPath, newPath string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	gating := maxRegress > 0
+	if gating && oldRep.CPU != newRep.CPU {
+		fmt.Fprintf(w, "note: baseline CPU %q != current CPU %q; regression gate disabled (report only)\n",
+			oldRep.CPU, newRep.CPU)
+		gating = false
+	}
 	oldBy := map[string]Benchmark{}
 	for _, b := range oldRep.Benchmarks {
 		oldBy[b.Name] = b
 	}
+	var violations []string
 	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s\n",
 		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
 	for _, nb := range newRep.Benchmarks {
@@ -203,7 +240,12 @@ func compareReports(oldPath, newPath string, w io.Writer) error {
 		delete(oldBy, nb.Name)
 		delta := "n/a"
 		if ob.NsPerOp > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(nb.NsPerOp-ob.NsPerOp)/ob.NsPerOp)
+			pct := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if gating && pct > maxRegress && (gateRE == nil || gateRE.MatchString(nb.Name)) {
+				violations = append(violations,
+					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% > %+.1f%%)", nb.Name, ob.NsPerOp, nb.NsPerOp, pct, maxRegress))
+			}
 		}
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %8s %12.0f %12.0f\n",
 			nb.Name, ob.NsPerOp, nb.NsPerOp, delta, ob.AllocsOp, nb.AllocsOp)
@@ -215,6 +257,9 @@ func compareReports(oldPath, newPath string, w io.Writer) error {
 	sort.Strings(gone)
 	for _, name := range gone {
 		fmt.Fprintf(w, "%-28s %14.0f %14s\n", name, oldBy[name].NsPerOp, "(removed)")
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchmark regression gate (> %.0f%%):\n  %s", maxRegress, strings.Join(violations, "\n  "))
 	}
 	return nil
 }

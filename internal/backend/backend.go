@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/route"
 	"repro/internal/tech"
 )
 
@@ -93,7 +94,14 @@ func Names() []string {
 //     change cannot silently alias old cache entries;
 //   - "rabid" and "mcf" reject a non-empty Library: those engines run the
 //     single-type DP, and accepting (then ignoring) a library would mint
-//     distinct keys for byte-identical results.
+//     distinct keys for byte-identical results;
+//   - SearchKernel "" becomes "heap" and SteinerMode "" becomes "pd", so
+//     the empty and explicit spellings of the defaults share one content
+//     address (the cache additionally aliases "dial" with "heap" — see
+//     cache.PlanKey — because the dial kernel is byte-identical by
+//     construction);
+//   - the mcf engine knobs (MCFPhases, MCFEpsilon) are validated here so a
+//     bad request fails before it is keyed or queued.
 //
 // Normalize must run before core.PlanKey / cache admission; the server and
 // facade both do.
@@ -103,6 +111,26 @@ func Normalize(p core.Params) (core.Params, error) {
 	}
 	if _, ok := registry[p.Backend]; !ok {
 		return p, fmt.Errorf("backend: unknown engine %q (have %v)", p.Backend, Names())
+	}
+	switch p.SearchKernel {
+	case "":
+		p.SearchKernel = route.KernelHeap
+	case route.KernelHeap, route.KernelDial, route.KernelAstar:
+	default:
+		return p, fmt.Errorf("backend: unknown search kernel %q (have %v)", p.SearchKernel, route.Kernels())
+	}
+	switch p.SteinerMode {
+	case "":
+		p.SteinerMode = core.SteinerPD
+	case core.SteinerPD, core.SteinerCostDist:
+	default:
+		return p, fmt.Errorf("backend: unknown steiner mode %q (have %v)", p.SteinerMode, core.SteinerModes())
+	}
+	if p.MCFPhases < 0 {
+		return p, fmt.Errorf("backend: mcf phases %d < 0", p.MCFPhases)
+	}
+	if p.MCFEpsilon != 0 && (p.MCFEpsilon <= 0 || p.MCFEpsilon >= 1) {
+		return p, fmt.Errorf("backend: mcf epsilon %g outside (0,1)", p.MCFEpsilon)
 	}
 	switch p.Backend {
 	case NameRabidLib:

@@ -34,7 +34,7 @@ import (
 // keyVersion is baked into every key so a change to the key material's
 // layout (or to result-affecting semantics) invalidates old entries rather
 // than aliasing them.
-const keyVersion = 2
+const keyVersion = 3
 
 // planMaterial enumerates, exhaustively and in a fixed order, every field
 // of a plan request that can affect the result. Fields deliberately
@@ -65,6 +65,35 @@ type planMaterial struct {
 	// entries computed under the old one.
 	Backend string         `json:"backend"`
 	Library []tech.LibGate `json:"library,omitempty"`
+	// SearchKernel is keyed through searchKernelKey: "heap" and "dial" are
+	// byte-identical by construction (the dial queue reproduces the heap's
+	// (key, node) pop order exactly), so they share one address; "astar"
+	// returns identical path costs but may break tree tie-breaks differently,
+	// so it mints its own.
+	SearchKernel string  `json:"search_kernel"`
+	SteinerMode  string  `json:"steiner_mode"`
+	MCFPhases    int     `json:"mcf_phases"`
+	MCFEpsilon   float64 `json:"mcf_epsilon"`
+}
+
+// searchKernelKey canonicalizes a kernel name for key material: "" and
+// "dial" map to "heap" because both produce byte-identical results (the
+// equivalence TestDialByteIdentical* proves); anything else keys as itself.
+func searchKernelKey(kernel string) string {
+	switch kernel {
+	case "", "dial":
+		return "heap"
+	}
+	return kernel
+}
+
+// steinerModeKey canonicalizes a Steiner mode for key material: "" is the
+// Prim–Dijkstra default.
+func steinerModeKey(mode string) string {
+	if mode == "" {
+		return "pd"
+	}
+	return mode
 }
 
 // PlanKey derives the content address of a RABID run: a hex SHA-256 over
@@ -92,6 +121,10 @@ func PlanKey(c *netlist.Circuit, p core.Params) (string, error) {
 		UseMCFRouter:      p.UseMCFRouter,
 		Backend:           p.Backend,
 		Library:           p.Library,
+		SearchKernel:      searchKernelKey(p.SearchKernel),
+		SteinerMode:       steinerModeKey(p.SteinerMode),
+		MCFPhases:         p.MCFPhases,
+		MCFEpsilon:        p.MCFEpsilon,
 	})
 }
 

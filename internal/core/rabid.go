@@ -60,6 +60,31 @@ type Params struct {
 	// multicommodity-flow global router — the alternative the paper names
 	// ("e.g., the multicommodity flow-based approach of [1]").
 	UseMCFRouter bool
+	// MCFPhases and MCFEpsilon expose the multicommodity-flow router's
+	// knobs (see mcf.Options): the number of routing phases and the
+	// exponential length step. Zero means the engine default (12 phases,
+	// epsilon 0.3). Both are result-affecting and flow into the
+	// content-addressed cache key; they only matter on the mcf paths
+	// (UseMCFRouter or the "mcf" backend) but are validated up front for
+	// every run so a bad value fails fast rather than mid-pipeline.
+	MCFPhases  int
+	MCFEpsilon float64
+	// SearchKernel selects the router's wavefront implementation for every
+	// Stage-2/Stage-4 search in the run ("heap", "dial", "astar"; "" means
+	// "heap" — see route.Kernels). "dial" is byte-identical to "heap" on
+	// every input; "astar" returns identical path costs with fewer pops
+	// (popped order — and hence tree tie-breaks — may differ, so it mints
+	// its own cache key). A non-empty value overrides RouteOpt.Kernel.
+	SearchKernel string
+	// SteinerMode selects the Stage-1 construction objective ("pd",
+	// "costdist"; "" means "pd"). "pd" is the paper's Prim–Dijkstra
+	// tradeoff tree at Alpha. "costdist" builds Held–Perner-style
+	// cost-distance trees with per-net weight 1/L, and reroutes Stage 2 at
+	// alpha = 1 (pure congestion-priced shortest paths, the regime where
+	// the astar kernel's heuristic provably engages): the tradeoff is
+	// carried per net by the construction objective instead of the global
+	// Alpha, so the reroute can optimize distance under congestion alone.
+	SteinerMode string
 	// Backend names the planning engine ("rabid", "rabid+lib", "mcf"; ""
 	// means "rabid"). The core pipeline does not dispatch on it — that is
 	// internal/backend's job — but it lives here so one Params value
@@ -101,6 +126,15 @@ type Params struct {
 	// cache keys (see internal/cache planMaterial).
 	WorkspacePool *route.Pool
 }
+
+// Steiner-mode names accepted by Params.SteinerMode.
+const (
+	SteinerPD       = "pd"
+	SteinerCostDist = "costdist"
+)
+
+// SteinerModes lists the accepted Stage-1 construction objectives.
+func SteinerModes() []string { return []string{SteinerPD, SteinerCostDist} }
 
 // DefaultParams returns the paper's parameter set.
 func DefaultParams() Params {
@@ -248,6 +282,28 @@ func newState(ctx context.Context, c *netlist.Circuit, p Params) (*state, error)
 	if p.MaxRipupPasses < 1 {
 		return nil, fmt.Errorf("core: MaxRipupPasses %d < 1", p.MaxRipupPasses)
 	}
+	switch p.SearchKernel {
+	case "", route.KernelHeap, route.KernelDial, route.KernelAstar:
+	default:
+		return nil, fmt.Errorf("core: unknown search kernel %q (want %v)", p.SearchKernel, route.Kernels())
+	}
+	if p.SearchKernel != "" {
+		// Params.SearchKernel is the request-level spelling; the router
+		// reads Options.Kernel, so the override lands once here and every
+		// Stage-2/Stage-4 Options copy below inherits it.
+		p.RouteOpt.Kernel = p.SearchKernel
+	}
+	switch p.SteinerMode {
+	case "", SteinerPD, SteinerCostDist:
+	default:
+		return nil, fmt.Errorf("core: unknown steiner mode %q (want %v)", p.SteinerMode, SteinerModes())
+	}
+	if p.MCFPhases < 0 {
+		return nil, fmt.Errorf("core: MCFPhases %d < 0", p.MCFPhases)
+	}
+	if p.MCFEpsilon != 0 && (p.MCFEpsilon <= 0 || p.MCFEpsilon >= 1) {
+		return nil, fmt.Errorf("core: MCFEpsilon %g outside (0,1)", p.MCFEpsilon)
+	}
 	for i, g := range p.Library {
 		if err := g.Validate(); err != nil {
 			return nil, fmt.Errorf("core: library gate %d: %w", i, err)
@@ -363,9 +419,16 @@ func (s *state) emitStage(ss StageStats) {
 // the shared graph and stay sequential.
 func (s *state) stage1() error {
 	bufs := obs.NewIndexBuffers(s.obs, len(s.c.Nets))
+	costdist := s.p.SteinerMode == SteinerCostDist
 	if err := par.ForEachCtx(s.ctx, s.p.Workers, len(s.c.Nets), func(i int) error {
 		t0 := bufs.Now()
-		rt, err := steiner.InitialRoute(s.c.Nets[i], s.p.Alpha)
+		var rt *rtree.Tree
+		var err error
+		if costdist {
+			rt, err = steiner.InitialRouteCostDistance(s.c.Nets[i])
+		} else {
+			rt, err = steiner.InitialRoute(s.c.Nets[i], s.p.Alpha)
+		}
 		if err != nil {
 			return err
 		}
@@ -410,7 +473,8 @@ func (s *state) stage1() error {
 // the multicommodity-flow router when configured.
 func (s *state) stage2() error {
 	if s.p.UseMCFRouter {
-		mopt := mcf.Options{RouteOpt: s.p.RouteOpt, Obs: s.obs}
+		mopt := mcf.Options{RouteOpt: s.p.RouteOpt, Obs: s.obs,
+			Phases: s.p.MCFPhases, Epsilon: s.p.MCFEpsilon}
 		mopt.RouteOpt.Stage = 2
 		res, err := mcf.RouteCtx(s.ctx, s.g, s.c.Nets, mopt)
 		if err != nil {
@@ -426,6 +490,13 @@ func (s *state) stage2() error {
 	order := s.orderByDelay(false) // smallest delay first
 	opt := s.p.RouteOpt
 	opt.Obs, opt.Stage = s.obs, 2
+	if s.p.SteinerMode == SteinerCostDist {
+		// Cost-distance mode carries the radius/wirelength tradeoff per net
+		// in the Stage-1 objective, so the reroute optimizes congestion-
+		// priced distance alone — and at alpha = 1 the astar kernel's
+		// heuristic is provably engaged (see route/kernel.go).
+		opt.Alpha = 1
+	}
 	// The speculative engine is threaded unconditionally: its protocol is
 	// worker-count-independent, so results and event streams match the
 	// sequential kernel bit for bit at every Workers value (the parallel
@@ -461,6 +532,8 @@ func (s *state) stage2MCF() error {
 		Obs:        s.obs,
 		SiteWeight: mcfEngineSiteWeight,
 		Seed:       mcfEngineRoundingSeed,
+		Phases:     s.p.MCFPhases,
+		Epsilon:    s.p.MCFEpsilon,
 	}
 	mopt.RouteOpt.Stage = 2
 	res, err := mcf.RouteCtx(s.ctx, s.g, s.c.Nets, mopt)

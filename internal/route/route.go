@@ -36,6 +36,14 @@ type Options struct {
 	// multicommodity-flow router uses this to route under its own
 	// exponential edge lengths.
 	Weight func(e int) float64
+	// Kernel selects the wavefront priority-queue implementation:
+	// KernelHeap (binary heap, the default; "" means heap), KernelDial
+	// (bucket queue, byte-identical results), or KernelAstar (goal-directed,
+	// identical path costs, fewer pops). See kernel.go and DESIGN.md
+	// "Search kernels". A non-nil Weight falls back to the heap — the
+	// custom cost function publishes none of the bounds the other kernels
+	// need.
+	Kernel string
 	// Obs receives router telemetry: per-net wavefront pop/push counters,
 	// rip-up pass spans with the per-pass overflow trajectory, and
 	// congestion-heat snapshots after every pass. nil (the default)
@@ -160,19 +168,38 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.
 		remaining--
 	}
 
+	kern, err := resolveKernel(opt)
+	if err != nil {
+		return nil, err
+	}
+	if kern == kAstar && opt.Alpha != 1 { //rabid:allow floateq exact gate: A* keeps heap-identical labels only at exactly alpha=1 (see kernel.go)
+		// The PD key is non-monotone for alpha < 1: a later pop can offer a
+		// done node a smaller key (k_v - k_u = ec_uv - (1-alpha)*ec_parent),
+		// so the labels are pop-order-defined and any goal-directed
+		// reordering changes results (TestAstarCostIdenticalReroute pins
+		// the alpha=1 guarantee; the divergence is real at 0.4). Fall back
+		// to the heap order; BufferAwarePath — a pure Dijkstra — and
+		// alpha=1 reroutes (the cost-distance Steiner mode) keep the
+		// goal-directed speedup.
+		kern = kHeap
+	}
+	ws.qReset(kern, g, opt)
+	if kern == kAstar {
+		ws.astarArmReroute(g, n, opt)
+	}
 	ws.stamp[srcIdx] = ep
 	ws.key[srcIdx] = 0
 	ws.pathCost[srcIdx] = 0
 	ws.done[srcIdx] = false
-	ws.pushPQ(pqItem{srcIdx, 0})
+	ws.qPush(pqItem{srcIdx, 0}) // sole item: its priority never competes
 	memo := opt.Weight == nil
 	tally := opt.Obs != nil // counter bookkeeping only when someone listens
-	pops, pushes := 0, 0
+	pops, pushes, relaxations := 0, 0, 0
 	if tally {
 		pushes = 1
 	}
-	for len(ws.q) > 0 && remaining > 0 {
-		it := ws.popPQ()
+	for ws.qLen() > 0 && remaining > 0 {
+		it := ws.qPop()
 		if tally {
 			pops++
 		}
@@ -199,13 +226,20 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.
 			} else if ws.done[v] {
 				continue
 			}
+			if tally {
+				relaxations++
+			}
 			ec := ws.edgeCostMemo(g, int(edges[x]), opt, memo)
 			if k := base + ec; k < ws.key[v] {
 				ws.key[v] = k
 				ws.pathCost[v] = pcu + ec
 				//rabid:allow narrowcast tile indices are < NumTiles <= MaxInt32, enforced by tile.New
 				ws.pred[v] = int32(u)
-				ws.pushPQ(pqItem{v, k})
+				pr := k
+				if kern == kAstar {
+					pr += ws.astarHR(v, ec)
+				}
+				ws.qPush(pqItem{v, pr})
 				if tally {
 					pushes++
 				}
@@ -215,6 +249,7 @@ func Reroute(g *tile.Graph, n *netlist.Net, opt Options, ws *Workspace) (*rtree.
 	if tally {
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.pops", Stage: opt.Stage, Net: n.ID, Value: float64(pops)})
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.pushes", Stage: opt.Stage, Net: n.ID, Value: float64(pushes)})
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.relaxations", Stage: opt.Stage, Net: n.ID, Value: float64(relaxations)})
 	}
 	if remaining > 0 {
 		return nil, fmt.Errorf("route: net %d: %d sinks unreachable", n.ID, remaining) //rabid:allow allocfree cold abort path: fmt argument boxing only when the route fails
@@ -423,6 +458,17 @@ func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net
 	if ws == nil {
 		ws = NewWorkspace()
 	}
+	// With an observer attached, interpose a counting tap: it forwards
+	// every event unchanged (streams stay byte-identical) while summing the
+	// per-net route.pops / route.relaxations counters, so the per-kernel
+	// totals below reflect exactly the committed event stream — identical
+	// under the speculative engine at every worker count, because only
+	// committed speculation events flush through the observer.
+	var tap *kernelTap
+	if opt.Obs != nil {
+		tap = &kernelTap{inner: opt.Obs}
+		opt.Obs = tap
+	}
 	passes := 0
 	for passes < maxPasses {
 		if err := ctx.Err(); err != nil {
@@ -467,7 +513,36 @@ func ReduceCongestionCtx(ctx context.Context, g *tile.Graph, nets []*netlist.Net
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.conflicts", Stage: opt.Stage, Net: -1, Value: float64(px.stats.conflicts)})
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "ripup.replayed", Stage: opt.Stage, Net: -1, Value: float64(px.stats.replayed)})
 	}
+	// Kernel-labeled wavefront totals, emitted like the speculation totals
+	// above: once per Stage-2 call, zero-valued when no pass ran, so
+	// cmd/metricscheck can require e.g. route.pops.heap.<stage> whenever an
+	// observer is attached.
+	if tap != nil {
+		label := kernelLabel(opt)
+		obs.Emit(tap.inner, obs.Event{Kind: obs.KindCounter, Scope: "route.pops." + label, Stage: opt.Stage, Net: -1, Value: tap.pops})
+		obs.Emit(tap.inner, obs.Event{Kind: obs.KindCounter, Scope: "route.relaxations." + label, Stage: opt.Stage, Net: -1, Value: tap.relaxations})
+	}
 	return passes, nil
+}
+
+// kernelTap is a pass-through observer that totals the per-net wavefront
+// counters flowing by; ReduceCongestionCtx uses it to emit per-kernel
+// aggregates without a second bookkeeping path in the hot loops.
+type kernelTap struct {
+	inner             obs.Observer
+	pops, relaxations float64
+}
+
+func (t *kernelTap) Observe(e obs.Event) {
+	if e.Kind == obs.KindCounter {
+		switch e.Scope {
+		case "route.pops":
+			t.pops += e.Value
+		case "route.relaxations":
+			t.relaxations += e.Value
+		}
+	}
+	t.inner.Observe(e)
 }
 
 // wireHeat is the per-tile congestion field emitted with heat snapshots:
@@ -540,22 +615,36 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked []bool, o
 	ws.begin(g.NumEdges()) //rabid:allow allocfree inlined grow path: begin reallocates edge scratch only when the graph outgrows the workspace
 	ws.growStates(nt * L)  //rabid:allow allocfree inlined grow path: DP state scratch reallocates only when tiles*L outgrows the workspace
 	ep := ws.epoch
+	headIdx := g.TileIndex(head)
+	kern, err := resolveKernel(opt)
+	if err != nil {
+		return nil, err
+	}
+	ws.qReset(kern, g, opt)
+	if kern == kAstar {
+		ws.astarArmPath(g, headIdx, blocked, opt)
+	}
 	start := g.TileIndex(tail) * L // state (tail, 0)
 	ws.sStamp[start] = ep
 	ws.sDist[start] = 0
 	ws.sPred[start] = -1
 	ws.sDone[start] = false
-	ws.pushPQ(pqItem{start, 0})
-	headIdx := g.TileIndex(head)
+	ws.qPush(pqItem{start, 0}) // sole item: its priority never competes
 	goal := -1
 	memo := opt.Weight == nil
 	tally := opt.Obs != nil
-	pops, pushes := 0, 0
+	pops, pushes, relaxations := 0, 0, 0
 	if tally {
 		pushes = 1
+		if kern == kAstar {
+			// The arming reverse Dijkstra is real queue work; charging it
+			// here keeps the per-kernel pops/relaxations comparison honest.
+			pops += ws.astar.armPops
+			relaxations += ws.astar.armRelax
+		}
 	}
-	for len(ws.q) > 0 {
-		it := ws.popPQ()
+	for ws.qLen() > 0 {
+		it := ws.qPop()
 		if tally {
 			pops++
 		}
@@ -576,7 +665,14 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked []bool, o
 			if blocked != nil && blocked[w] && w != headIdx {
 				continue
 			}
+			if tally {
+				relaxations++
+			}
 			wc := ws.edgeCostMemo(g, int(edges[x]), opt, memo)
+			var hw float64
+			if kern == kAstar {
+				hw = ws.astarHPath(w)
+			}
 			// Advance without buffering.
 			if j+1 < L {
 				ns := w*L + j + 1
@@ -589,7 +685,7 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked []bool, o
 					ws.sDist[ns] = nd
 					//rabid:allow narrowcast s < nt*L, guarded against MaxInt32 at function entry
 					ws.sPred[ns] = int32(s)
-					ws.pushPQ(pqItem{ns, nd})
+					ws.qPush(pqItem{ns, nd + hw})
 					if tally {
 						pushes++
 					}
@@ -606,7 +702,7 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked []bool, o
 				ws.sDist[ns] = nd
 				//rabid:allow narrowcast s < nt*L, guarded against MaxInt32 at function entry
 				ws.sPred[ns] = int32(s)
-				ws.pushPQ(pqItem{ns, nd})
+				ws.qPush(pqItem{ns, nd + hw})
 				if tally {
 					pushes++
 				}
@@ -616,6 +712,7 @@ func BufferAwarePath(g *tile.Graph, tail, head geom.Pt, L int, blocked []bool, o
 	if tally {
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.bap.pops", Stage: opt.Stage, Net: -1, Value: float64(pops)})
 		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.bap.pushes", Stage: opt.Stage, Net: -1, Value: float64(pushes)})
+		obs.Emit(opt.Obs, obs.Event{Kind: obs.KindCounter, Scope: "route.bap.relaxations", Stage: opt.Stage, Net: -1, Value: float64(relaxations)})
 	}
 	if goal < 0 {
 		return nil, fmt.Errorf("route: no reconnection from %v to %v", tail, head) //rabid:allow allocfree cold abort path: fmt argument boxing only when no path exists

@@ -58,8 +58,15 @@ type Workspace struct {
 	ecStamp []uint64
 	ec      []float64
 
-	// Wavefront heap (concrete pqItem slice, no interface boxing).
-	q []pqItem
+	// Wavefront heap (concrete pqItem slice, no interface boxing). The
+	// heap and astar kernels pop from q; the dial kernel uses the bucket
+	// queue below. kern is armed per call by qReset (see kernel.go).
+	q    []pqItem
+	kern kernelID
+
+	// Dial bucket-queue and A*-heuristic state (see kernel.go).
+	dial  dialState
+	astar astarState
 
 	// (tile, j) search state, one entry per state (BufferAwarePath).
 	sStamp []uint64
@@ -157,30 +164,38 @@ func (ws *Workspace) growStates(n int) {
 // --- wavefront heap ----------------------------------------------------
 //
 // pushPQ and popPQ are container/heap.Push and container/heap.Pop
-// specialized to []pqItem: push appends then sifts up, pop swaps the root
-// with the last element, sifts the root down over the shortened slice, and
-// returns the displaced element. The sift loops replicate container/heap's
-// up/down exactly — same strict-< comparison, same child selection, same
-// break conditions — so the pop order (including the order among equal
-// keys, which the routers' determinism depends on) is bit-for-bit the
-// order the boxed implementation produced.
+// specialized to []pqItem, with one deliberate strengthening: the
+// comparison is the explicit total order (key, node) rather than key
+// alone. Equal-key pops therefore surface the smallest node index first —
+// an order every search kernel (heap, dial, astar far region) can
+// reproduce independently of its internal layout, which is what lets the
+// Dial bucket queue match the heap byte for byte. A node is pushed again
+// only when its key strictly improves, so no two live entries are ever
+// fully equal and the order is strict.
 
-func (ws *Workspace) pushPQ(it pqItem) {
-	q := append(ws.q, it)
+// pqLess is the wavefront's total order: by key, then by node index.
+func pqLess(a, b pqItem) bool {
+	return a.key < b.key || (a.key == b.key && a.node < b.node) //rabid:allow floateq tie-break on exact key equality is the point: equal keys fall through to the node index, never to float tolerance
+}
+
+// heapPushPQ and heapPopPQ are the slice-level sift loops, shared by the
+// main wavefront heap and the dial kernel's far region (kernel.go).
+
+func heapPushPQ(q []pqItem, it pqItem) []pqItem {
+	q = append(q, it)
 	j := len(q) - 1
 	for j > 0 {
 		i := (j - 1) / 2 // parent
-		if !(q[j].key < q[i].key) {
+		if !pqLess(q[j], q[i]) {
 			break
 		}
 		q[i], q[j] = q[j], q[i]
 		j = i
 	}
-	ws.q = q
+	return q
 }
 
-func (ws *Workspace) popPQ() pqItem {
-	q := ws.q
+func heapPopPQ(q []pqItem) (pqItem, []pqItem) {
 	n := len(q) - 1
 	q[0], q[n] = q[n], q[0]
 	i := 0
@@ -190,17 +205,25 @@ func (ws *Workspace) popPQ() pqItem {
 			break
 		}
 		j := j1 // left child
-		if j2 := j1 + 1; j2 < n && q[j2].key < q[j1].key {
+		if j2 := j1 + 1; j2 < n && pqLess(q[j2], q[j1]) {
 			j = j2 // right child
 		}
-		if !(q[j].key < q[i].key) {
+		if !pqLess(q[j], q[i]) {
 			break
 		}
 		q[i], q[j] = q[j], q[i]
 		i = j
 	}
-	it := q[n]
-	ws.q = q[:n]
+	return q[n], q[:n]
+}
+
+func (ws *Workspace) pushPQ(it pqItem) {
+	ws.q = heapPushPQ(ws.q, it)
+}
+
+func (ws *Workspace) popPQ() pqItem {
+	it, q := heapPopPQ(ws.q)
+	ws.q = q
 	return it
 }
 

@@ -233,6 +233,15 @@ type planParams struct {
 	// single-type engine is a 400.
 	Backend *string        `json:"backend,omitempty"`
 	Library []tech.LibGate `json:"library,omitempty"`
+	// SearchKernel selects the router's wavefront implementation ("heap",
+	// "dial", "astar"; absent or empty = "heap") and SteinerMode the Stage-1
+	// construction ("pd", "costdist"; absent or empty = "pd"). MCFPhases and
+	// MCFEpsilon tune the mcf engine (0 = its defaults). All four are
+	// validated by backend.Normalize and reach the content key.
+	SearchKernel *string  `json:"search_kernel,omitempty"`
+	SteinerMode  *string  `json:"steiner_mode,omitempty"`
+	MCFPhases    *int     `json:"mcf_phases,omitempty"`
+	MCFEpsilon   *float64 `json:"mcf_epsilon,omitempty"`
 }
 
 // apply merges the overrides into p.
@@ -275,6 +284,18 @@ func (pp *planParams) apply(p *core.Params) {
 	}
 	if len(pp.Library) > 0 {
 		p.Library = pp.Library
+	}
+	if pp.SearchKernel != nil {
+		p.SearchKernel = *pp.SearchKernel
+	}
+	if pp.SteinerMode != nil {
+		p.SteinerMode = *pp.SteinerMode
+	}
+	if pp.MCFPhases != nil {
+		p.MCFPhases = *pp.MCFPhases
+	}
+	if pp.MCFEpsilon != nil {
+		p.MCFEpsilon = *pp.MCFEpsilon
 	}
 }
 

@@ -451,12 +451,62 @@ func TestPlanBackendBadRequests(t *testing.T) {
 		{"unknown engine", `,"params":{"backend":"fastest"}`},
 		{"library on mcf", `,"params":{"backend":"mcf","library":[{"name":"buf1x","out_res":180,"in_cap":23.4,"intrinsic":36.4,"area_cost":1}]}`},
 		{"bad library gate", `,"params":{"backend":"rabid+lib","library":[{"name":"dud","out_res":-1,"in_cap":1,"intrinsic":1,"area_cost":1}]}`},
+		{"unknown kernel", `,"params":{"search_kernel":"fibheap"}`},
+		{"unknown steiner mode", `,"params":{"steiner_mode":"rsmt"}`},
+		{"negative mcf phases", `,"params":{"mcf_phases":-1}`},
+		{"mcf epsilon out of range", `,"params":{"mcf_epsilon":1.5}`},
 	}
 	for _, tc := range cases {
 		resp, body := postJSON(t, ts.URL+"/v1/plan", planBody(t, c, tc.extra))
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, resp.StatusCode, body)
 		}
+	}
+}
+
+// TestPlanSearchKernelAliasing: "dial" is byte-identical to "heap" by
+// construction, so an explicit dial request is served from the heap entry
+// under the same content key; "astar" may break tree tie-breaks differently
+// and mints its own key. The steiner_mode and mcf knobs likewise reach the
+// key.
+func TestPlanSearchKernelAliasing(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	c := testCircuit(t, 1)
+
+	post := func(extra, wantCache string) string {
+		t.Helper()
+		resp, b := postJSON(t, ts.URL+"/v1/plan", planBody(t, c, extra))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", extra, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Cache"); got != wantCache {
+			t.Errorf("%s: X-Cache = %q, want %q", extra, got, wantCache)
+		}
+		var pr struct {
+			Key string `json:"key"`
+		}
+		if err := json.Unmarshal(b, &pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr.Key
+	}
+
+	base := post("", "miss")
+	if k := post(`,"params":{"search_kernel":"heap"}`, "hit"); k != base {
+		t.Errorf("explicit heap key %s != default key %s", k, base)
+	}
+	if k := post(`,"params":{"search_kernel":"dial"}`, "hit"); k != base {
+		t.Errorf("dial key %s != heap key %s; byte-identical kernels must alias", k, base)
+	}
+	if k := post(`,"params":{"search_kernel":"astar"}`, "miss"); k == base {
+		t.Error("astar shares the heap content key; its tie-breaks may differ")
+	}
+	if k := post(`,"params":{"steiner_mode":"costdist"}`, "miss"); k == base {
+		t.Error("steiner_mode costdist does not reach the content key")
+	}
+	if k := post(`,"params":{"backend":"mcf","mcf_phases":3,"mcf_epsilon":0.5}`, "miss"); k == base {
+		t.Error("mcf knobs do not reach the content key")
 	}
 }
 

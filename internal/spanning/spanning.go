@@ -77,6 +77,78 @@ func Tree(pts []geom.Pt, alpha float64) ([]int, error) {
 	return parent, nil
 }
 
+// CostDistanceTree computes a cost-distance tradeoff tree over the given
+// terminals in the Manhattan metric (Held & Perner style: greedy attachment
+// under a wire-cost plus weighted source-path-length objective). pts[0] is
+// the source. It returns parent[i] = the index of node i's parent
+// (parent[0] = -1).
+//
+// A non-tree node v is attached greedily, minimizing
+//
+//	dist(u, v) + w * (pathlen(u) + dist(u, v))
+//
+// over tree nodes u — the attachment's wire cost plus the source-to-v path
+// length it induces, weighted by w. Unlike the Prim–Dijkstra form (Tree),
+// the induced detour dist(u, v) is charged inside the distance term too, so
+// the objective is the net's cost-distance: total wire plus w times the
+// source-to-terminal path lengths. w = 0 yields the MST; growing w
+// approaches the shortest-path tree. Callers derive w per net from its
+// criticality (the pipeline uses w = 1/L: tighter length constraints lean
+// harder toward short source paths).
+//
+// Ties break deterministically toward the lowest node index (the strict <
+// comparisons keep the earliest minimum), so the construction is
+// reproducible for cache keys and golden fixtures.
+func CostDistanceTree(pts []geom.Pt, w float64) ([]int, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, fmt.Errorf("spanning: no terminals")
+	}
+	if w < 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		return nil, fmt.Errorf("spanning: cost-distance weight %v outside [0, +inf)", w)
+	}
+	parent := make([]int, n)
+	pathlen := make([]float64, n) // tree path length from source
+	key := make([]float64, n)     // best attachment cost
+	best := make([]int, n)        // best attachment parent
+	inTree := make([]bool, n)
+
+	for i := range key {
+		key[i] = math.Inf(1)
+		parent[i] = -1
+		best[i] = -1
+	}
+	inTree[0] = true
+	for v := 1; v < n; v++ {
+		d := float64(pts[0].Manhattan(pts[v]))
+		key[v] = d + w*d
+		best[v] = 0
+	}
+	for added := 1; added < n; added++ {
+		pick := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (pick == -1 || key[v] < key[pick]) {
+				pick = v
+			}
+		}
+		u := best[pick]
+		parent[pick] = u
+		pathlen[pick] = pathlen[u] + float64(pts[u].Manhattan(pts[pick]))
+		inTree[pick] = true
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			d := float64(pts[pick].Manhattan(pts[v]))
+			if c := d + w*(pathlen[pick]+d); c < key[v] {
+				key[v] = c
+				best[v] = pick
+			}
+		}
+	}
+	return parent, nil
+}
+
 // Wirelength returns the total Manhattan length of the tree edges.
 func Wirelength(pts []geom.Pt, parent []int) int {
 	total := 0

@@ -246,6 +246,30 @@ func InitialRoute(n *netlist.Net, alpha float64) (*rtree.Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("steiner: net %d: %w", n.ID, err)
 	}
+	return finishRoute(n, tiles, par)
+}
+
+// InitialRouteCostDistance is the cost-distance alternative to InitialRoute
+// (core.Params.SteinerMode "costdist"): the spanning skeleton is the
+// Held–Perner-style cost-distance tree with per-net weight w = 1/L, so
+// delay-critical nets (small length constraints) lean toward shortest
+// source paths while relaxed nets approach the MST. Overlap removal and
+// embedding are shared with the Prim–Dijkstra path.
+func InitialRouteCostDistance(n *netlist.Net) (*rtree.Tree, error) {
+	tiles := n.Tiles()
+	if n.L < 1 {
+		return nil, fmt.Errorf("steiner: net %d: length constraint %d < 1", n.ID, n.L)
+	}
+	par, err := spanning.CostDistanceTree(tiles, 1/float64(n.L))
+	if err != nil {
+		return nil, fmt.Errorf("steiner: net %d: %w", n.ID, err)
+	}
+	return finishRoute(n, tiles, par)
+}
+
+// finishRoute is the shared tail of the Stage-1 constructions: greedy
+// overlap removal over the spanning skeleton, then tile embedding.
+func finishRoute(n *netlist.Net, tiles []geom.Pt, par []int) (*rtree.Tree, error) {
 	st := RemoveOverlaps(tiles, par)
 	sinks := make([]geom.Pt, len(n.Sinks))
 	for i, s := range n.Sinks {

@@ -1,0 +1,64 @@
+package rabid
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/par"
+)
+
+// TestKernelSuiteEquivalence is the pipeline-level acceptance gate of the
+// search-kernel matrix, over all ten suite circuits at Workers 1/2/4/8
+// (CI's test job runs it under -race):
+//
+//   - "dial" must be BYTE-identical to "heap": same trees, same stage
+//     stats, same buffer assignments, at every worker count. The bucket
+//     queue reproduces the heap's (key, node) pop order exactly, so any
+//     divergence is a kernel bug, not a tie-break.
+//   - "astar" must be deterministic: byte-identical to itself at every
+//     worker count. Its popped order differs from heap's, so equal-cost
+//     tie-breaks may pick different trees and full-pipeline bytes are NOT
+//     compared against heap; the per-call cost-identity contract (equal
+//     per-sink selection keys, equal reconnection costs) is proven at the
+//     unit level in internal/route/kernel_test.go, including over the
+//     suite circuits.
+func TestKernelSuiteEquivalence(t *testing.T) {
+	names := append(append([]string{}, exp.CBLNames...), exp.RandomNames...)
+	workers := []int{1, 2, 4, 8}
+	if err := par.ForEach(0, len(names), func(i int) error {
+		name := names[i]
+		g := coarseGrids[name]
+		c, err := GenerateBenchmark(name, GenOptions{GridW: g[0], GridH: g[1]})
+		if err != nil {
+			return err
+		}
+		run := func(kernel string, w int) []byte {
+			p := BenchmarkParams(name)
+			p.SearchKernel = kernel
+			p.Workers = w
+			res, err := Run(c, p)
+			if err != nil {
+				t.Errorf("%s/%s/w%d: %v", name, kernel, w, err)
+				return nil
+			}
+			return goldenBytes(t, res)
+		}
+		heapBytes := run("heap", 1)
+		var astarBytes []byte
+		for _, w := range workers {
+			if db := run("dial", w); !bytes.Equal(db, heapBytes) {
+				t.Errorf("%s: dial result at Workers=%d differs from heap (must be byte-identical)", name, w)
+			}
+			ab := run("astar", w)
+			if astarBytes == nil {
+				astarBytes = ab
+			} else if !bytes.Equal(ab, astarBytes) {
+				t.Errorf("%s: astar result at Workers=%d differs from Workers=1 (kernel nondeterministic)", name, w)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -304,6 +304,14 @@ func DefaultPlanningLibrary018() []LibGate { return tech.DefaultPlanningLibrary0
 // "rabid+lib"), sorted.
 func Backends() []string { return backend.Names() }
 
+// SearchKernels returns the router wavefront-kernel names ("heap", "dial",
+// "astar") accepted by Params.SearchKernel.
+func SearchKernels() []string { return route.Kernels() }
+
+// SteinerModes returns the Stage-1 construction names ("pd", "costdist")
+// accepted by Params.SteinerMode.
+func SteinerModes() []string { return core.SteinerModes() }
+
 // DescribeBackend returns the one-line summary of a registered engine
 // ("" names the default).
 func DescribeBackend(name string) (string, bool) {

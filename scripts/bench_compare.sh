@@ -3,19 +3,26 @@
 # from the repo root). Stdlib-only: go test + cmd/benchjson, no external
 # benchstat.
 #
-#   1. run the route microbenchmarks (Reroute / RipupPass / BufferAwarePath),
-#      the end-to-end BenchmarkRunSuite, and the cross-backend
-#      BenchmarkBackendPlan (rabid / rabid+lib / mcf),
+#   1. run the route microbenchmarks (Reroute / RipupPass / BufferAwarePath)
+#      and the search-kernel matrix (heap / dial / astar over Reroute and
+#      BufferAwarePath), the end-to-end BenchmarkRunSuite, and the
+#      cross-backend BenchmarkBackendPlan (rabid / rabid+lib / mcf),
 #   2. convert the text output to JSON with cmd/benchjson,
-#   3. if a baseline exists, print an old-vs-new delta table.
+#   3. if a baseline exists, print an old-vs-new delta table and gate the
+#      default (heap) kernel's hot paths: a >10% ns/op regression of
+#      BenchmarkReroute / BenchmarkRipupPass / BenchmarkBufferAwarePath or
+#      any */heap kernel-matrix row fails the script. benchjson disables
+#      the gate automatically when the baseline was recorded on a
+#      different CPU (cross-machine wall clock measures the hardware);
+#      the rest of the table stays report-only — runner noise on the
+#      non-default rows and macro benchmarks is not worth failing on.
 #
 # Usage:
 #   scripts/bench_compare.sh                 # write BENCH_route.new.json, compare
 #   scripts/bench_compare.sh -update        # refresh the checked-in baseline
 #   BENCHTIME=0.2s scripts/bench_compare.sh # shorter timed run (CI)
 #
-# The comparison is a report, not a gate: wall-clock deltas on shared
-# runners are noise. The allocation contracts are gated by tests
+# The allocation contracts are gated by tests
 # (internal/route/alloc_test.go), which `go test ./...` already runs.
 set -euo pipefail
 
@@ -36,8 +43,12 @@ echo "== route microbenchmarks (benchtime=$benchtime)" >&2
 go test -run '^$' -bench 'BenchmarkReroute$|BenchmarkRipupPass$|BenchmarkRipupPassParallel$|BenchmarkBufferAwarePath$' \
   -benchmem -benchtime "$benchtime" ./internal/route | tee "$workdir/bench.txt" >&2
 
+echo "== search-kernel matrix (benchtime=$benchtime)" >&2
+go test -run '^$' -bench 'BenchmarkRerouteKernel$|BenchmarkRerouteKernelAlpha1$|BenchmarkBufferAwarePathKernel$' \
+  -benchmem -benchtime "$benchtime" ./internal/route | tee -a "$workdir/bench.txt" >&2
+
 echo "== end-to-end suite benchmark (benchtime=$suite_benchtime)" >&2
-go test -run '^$' -bench 'BenchmarkRunSuite$' \
+go test -run '^$' -bench 'BenchmarkRunSuite$|BenchmarkRunSuiteSteiner$' \
   -benchmem -benchtime "$suite_benchtime" -timeout 20m . | tee -a "$workdir/bench.txt" >&2
 
 echo "== backend comparison benchmark (benchtime=$suite_benchtime)" >&2
@@ -55,7 +66,11 @@ new=BENCH_route.new.json
 echo "wrote $new" >&2
 
 if [ -f "$baseline" ]; then
-  "$workdir/benchjson" -compare "$baseline" "$new"
+  # Gate the default kernel's hot paths at 10%; everything else (parallel
+  # variants, non-default kernels, macro benchmarks) is report-only.
+  "$workdir/benchjson" -compare -maxregress 10 \
+    -gate '^(BenchmarkReroute|BenchmarkRipupPass|BenchmarkBufferAwarePath)$|Kernel(Alpha1)?/heap$' \
+    "$baseline" "$new"
 else
   echo "no baseline ($baseline) checked in; run with -update to create one" >&2
 fi
